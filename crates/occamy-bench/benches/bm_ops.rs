@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks: the buffer-management hot path.
+//!
+//! Admission runs per packet on the switch's critical path, so its cost
+//! matters as much as its policy. Victim selection runs once per
+//! expulsion. These benches compare all schemes on both operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use occamy_core::{BmKind, BufferManager, BufferState, QueueConfig};
+use std::hint::black_box;
+
+/// A 64-queue partition with a mixed occupancy pattern.
+fn state() -> BufferState {
+    let mut s = BufferState::new(4_000_000, 64);
+    for q in 0..64 {
+        let len = (q as u64 * 7_919) % 60_000;
+        if len > 0 {
+            s.enqueue(q, len).unwrap();
+        }
+    }
+    s
+}
+
+fn bench_admit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admit");
+    let state = state();
+    for kind in [
+        BmKind::Dt,
+        BmKind::Occamy,
+        BmKind::Abm,
+        BmKind::Pushout,
+        BmKind::Static,
+        BmKind::CompleteSharing,
+    ] {
+        let bm = kind.build(QueueConfig::uniform(64, 100_000_000_000, 2.0));
+        group.bench_with_input(BenchmarkId::from_parameter(bm.name()), &bm, |b, bm| {
+            let mut q = 0usize;
+            b.iter(|| {
+                q = (q + 1) % 64;
+                black_box(bm.admit(q, 1_500, &state))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_select_victim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_victim");
+    for kind in [BmKind::Occamy, BmKind::OccamyLongest, BmKind::Pushout] {
+        // A low α guarantees over-allocated queues exist.
+        let mut bm = kind.build(QueueConfig::uniform(64, 100_000_000_000, 0.25));
+        let state = state();
+        group.bench_function(BenchmarkId::from_parameter(bm.name()), |b| {
+            b.iter(|| black_box(bm.select_victim(&state)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_scaling(c: &mut Criterion) {
+    // Admission cost versus queue count: ABM's congested-queue count is
+    // O(N); the others are O(1).
+    let mut group = c.benchmark_group("threshold_vs_queues");
+    for n in [8usize, 64, 512] {
+        let mut s = BufferState::new(64_000_000, n);
+        for q in 0..n {
+            s.enqueue(q, 20_000).unwrap();
+        }
+        for kind in [BmKind::Dt, BmKind::Abm] {
+            let bm = kind.build(QueueConfig::uniform(n, 100_000_000_000, 2.0));
+            group.bench_function(BenchmarkId::new(bm.name(), n), |b| {
+                b.iter(|| black_box(bm.threshold(0, &s)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_admit, bench_select_victim, bench_threshold_scaling
+}
+criterion_main!(benches);

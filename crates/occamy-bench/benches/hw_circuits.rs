@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks: the cell-level traffic manager and the
+//! head-drop circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use occamy_core::{BmKind, QueueConfig};
+use occamy_hw::{HeadDropSelector, MaxFinder, TrafficManager};
+use std::hint::black_box;
+
+fn bench_selector(c: &mut Criterion) {
+    // Selector refresh (comparator row) + grant, vs queue count.
+    let mut group = c.benchmark_group("head_drop_selector");
+    for n in [64usize, 256, 1024] {
+        let mut sel = HeadDropSelector::new(n);
+        let qlens: Vec<u64> = (0..n as u64).map(|i| (i * 977) % 50_000).collect();
+        group.bench_function(BenchmarkId::new("refresh_select", n), |b| {
+            b.iter(|| {
+                sel.refresh_shared(&qlens, 25_000);
+                black_box(sel.select())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_maxfinder(c: &mut Criterion) {
+    // The comparator tree Pushout needs, vs a plain linear scan.
+    let mut group = c.benchmark_group("maxfinder");
+    for n in [64usize, 1024] {
+        let vals: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 2_654_435_761) % 100_000)
+            .collect();
+        let mf = MaxFinder::new(n, 20);
+        group.bench_function(BenchmarkId::new("tree", n), |b| {
+            b.iter(|| black_box(mf.find(&vals)));
+        });
+        group.bench_function(BenchmarkId::new("linear_scan", n), |b| {
+            b.iter(|| black_box(vals.iter().enumerate().max_by_key(|&(_, &v)| v)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tm_operations(c: &mut Criterion) {
+    // Full enqueue → dequeue and enqueue → head-drop cycles through the
+    // three-memory structure.
+    let mut group = c.benchmark_group("traffic_manager");
+    group.bench_function("enqueue_dequeue_1500B", |b| {
+        let cfg = QueueConfig::uniform(8, 100_000_000_000, 8.0);
+        let mut tm = TrafficManager::new(65_536, 8, BmKind::Occamy.build(cfg));
+        let mut id = 0u64;
+        b.iter(|| {
+            tm.enqueue(0, id, 1_500, id);
+            id += 1;
+            black_box(tm.dequeue(0, id))
+        });
+    });
+    group.bench_function("enqueue_headdrop_1500B", |b| {
+        let cfg = QueueConfig::uniform(8, 100_000_000_000, 8.0);
+        let mut tm = TrafficManager::new(65_536, 8, BmKind::Occamy.build(cfg));
+        let mut id = 0u64;
+        b.iter(|| {
+            tm.enqueue(0, id, 1_500, id);
+            id += 1;
+            black_box(tm.head_drop(0, id))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_selector, bench_maxfinder, bench_tm_operations
+}
+criterion_main!(benches);

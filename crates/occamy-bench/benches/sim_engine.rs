@@ -1,0 +1,82 @@
+//! Criterion macro-benchmarks: simulator event throughput and workload
+//! generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occamy_core::BmKind;
+use occamy_sim::topology::{single_switch, BmSpec, SchedKind, SingleSwitchCfg};
+use occamy_sim::{CcAlgo, FlowDesc, SimConfig, MS, SEC, US};
+use occamy_traffic::{web_search, BackgroundWorkload, QueryWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// One full incast-over-background simulation on the 8-host testbed.
+fn incast_world(kind: BmKind) -> u64 {
+    let mut w = single_switch(SingleSwitchCfg {
+        host_rates_bps: vec![10_000_000_000; 8],
+        prop_ps: 1 * US,
+        buffer_bytes: 410_000,
+        classes: 1,
+        bm: BmSpec::uniform(kind, 8.0),
+        sched: SchedKind::Fifo,
+        sim: SimConfig {
+            min_rto: 5 * MS,
+            ..SimConfig::default()
+        },
+    });
+    for s in 0..7 {
+        w.add_flow(FlowDesc {
+            src: s,
+            dst: 7,
+            bytes: 500_000,
+            start_ps: 0,
+            prio: 0,
+            cc: CcAlgo::Dctcp,
+            query: Some(0),
+            is_query: true,
+        });
+    }
+    w.run_to_completion(SEC);
+    w.metrics.delivered_pkts
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for kind in [BmKind::Dt, BmKind::Occamy] {
+        group.bench_function(format!("incast_3.5MB_{kind:?}"), |b| {
+            b.iter(|| black_box(incast_world(kind)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.bench_function("web_search_1s_8hosts", |b| {
+        let wl = BackgroundWorkload::new(8, 10_000_000_000, 0.5, web_search());
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(wl.generate(1_000_000_000_000, &mut rng).len())
+        });
+    });
+    group.bench_function("queries_1s_32hosts", |b| {
+        let qw = QueryWorkload::new(32, 16, 400_000, 200.0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(qw.generate(1_000_000_000_000, &mut rng).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_simulation, bench_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Reproduces paper **Fig. 7**: CDFs of buffer and memory-bandwidth
+//! utilization sampled at packet-drop instants.
+//!
+//! Leaf-spine fabric under DT with web-search background (no queries).
+//! - Fig. 7a: buffer utilization on drop for α ∈ {0.5, 1} at 40% load —
+//!   the paper's point is that DT drops while a large fraction of the
+//!   buffer is still free (p99 utilization ≈ 66% at α = 0.5).
+//! - Fig. 7b: memory-bandwidth utilization on drop for loads
+//!   {20, 40, 90}% — even at 90% load the median free bandwidth is ~38%,
+//!   the headroom Occamy's expulsion path exploits.
+
+use occamy_bench::quick_mode;
+use occamy_bench::results_path;
+use occamy_bench::scenarios::{BgPattern, LeafSpineScenario};
+use occamy_core::BmKind;
+use occamy_sim::MS;
+use occamy_stats::{Cdf, Table};
+
+fn run(alpha: f64, load: f64) -> (Cdf, Cdf) {
+    let mut sc = LeafSpineScenario::paper_scaled(BmKind::Dt, alpha);
+    sc.bg = BgPattern::WebSearch { load };
+    sc.qps_per_host = 0.0; // background only, as in §3.1
+    if quick_mode() {
+        sc.duration_ps = 10 * MS;
+        sc.drain_ps = 50 * MS;
+    }
+    let (world, _) = sc.run_world();
+    let mut buf = Cdf::new();
+    let mut bw = Cdf::new();
+    for &u in &world.metrics.drop_buffer_util {
+        buf.add(u);
+    }
+    for &u in &world.metrics.drop_membw_util {
+        bw.add(u);
+    }
+    (buf, bw)
+}
+
+fn quantile_row(label: &str, cdf: &mut Cdf) -> Vec<String> {
+    let q = |cdf: &mut Cdf, p: f64| {
+        cdf.quantile(p)
+            .map(|v| format!("{:.1}", v * 100.0))
+            .unwrap_or_else(|| "-".into())
+    };
+    vec![
+        label.to_string(),
+        cdf.len().to_string(),
+        q(cdf, 0.25),
+        q(cdf, 0.50),
+        q(cdf, 0.75),
+        q(cdf, 0.90),
+        q(cdf, 0.99),
+    ]
+}
+
+fn main() {
+    let cols = &["series", "drops", "p25", "p50", "p75", "p90", "p99"];
+
+    let mut a = Table::new(
+        "Fig 7a: buffer utilization (%) at drop instants, 40% load",
+        cols,
+    );
+    let (mut buf_half, _) = run(0.5, 0.4);
+    let (mut buf_one, _) = run(1.0, 0.4);
+    let p99_half = buf_half.quantile(0.99);
+    a.row(quantile_row("alpha=0.5", &mut buf_half));
+    a.row(quantile_row("alpha=1", &mut buf_one));
+    a.print();
+    a.to_csv(&results_path("fig07a.csv")).ok();
+
+    let mut b = Table::new(
+        "Fig 7b: memory-bandwidth utilization (%) at drop instants (alpha=0.5)",
+        cols,
+    );
+    let mut medians = Vec::new();
+    for load in [0.2, 0.4, 0.9] {
+        let (_, mut bw) = run(0.5, load);
+        medians.push((load, bw.quantile(0.5)));
+        b.row(quantile_row(&format!("load={:.0}%", load * 100.0), &mut bw));
+    }
+    b.print();
+    b.to_csv(&results_path("fig07b.csv")).ok();
+
+    println!(
+        "Shape check: paper reports p99 buffer utilization ~66% at α=0.5 \
+         (measured {}); and ≥~38% median *free* memory bandwidth even at \
+         90% load (measured free {}).",
+        p99_half
+            .map(|v| format!("{:.0}%", v * 100.0))
+            .unwrap_or_else(|| "n/a".into()),
+        medians
+            .last()
+            .and_then(|(_, m)| *m)
+            .map(|v| format!("{:.0}%", (1.0 - v) * 100.0))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+}

@@ -1,0 +1,97 @@
+//! Reproduces paper **Fig. 12**: burst loss rate vs burst size for
+//! Occamy and DT with α ∈ {1, 2, 4} on the P4-testbed scenario.
+//!
+//! Paper shape: (1) at equal α, Occamy absorbs markedly larger bursts
+//! than DT (≈57% more at α = 4) because it vacates the entrenched queue
+//! instead of waiting for it to drain; (2) Occamy *improves* as α grows
+//! (more usable buffer, agility intact) while DT *degrades* (less
+//! reserve, no agility).
+
+use occamy_bench::results_path;
+use occamy_core::BmKind;
+use occamy_sim::topology::{single_switch, BmSpec, SchedKind, SingleSwitchCfg};
+use occamy_sim::{CbrDesc, SimConfig, MS, US};
+use occamy_stats::Table;
+
+const G10: u64 = 10_000_000_000;
+const G100: u64 = 100_000_000_000;
+const BUFFER: u64 = 1_200_000;
+
+fn loss_rate(kind: BmKind, alpha: f64, burst_bytes: u64) -> f64 {
+    let mut w = single_switch(SingleSwitchCfg {
+        host_rates_bps: vec![G100, G100, G10, G10],
+        prop_ps: 1 * US,
+        buffer_bytes: BUFFER,
+        classes: 1,
+        bm: BmSpec::uniform(kind, alpha),
+        sched: SchedKind::Fifo,
+        sim: SimConfig::default(),
+    });
+    w.add_cbr(CbrDesc {
+        host: 0,
+        dst: 2,
+        rate_bps: 20_000_000_000,
+        pkt_len: 1_460,
+        prio: 0,
+        start_ps: 0,
+        stop_ps: 10 * MS,
+        budget_bytes: None,
+    });
+    let burst = w.add_cbr(CbrDesc {
+        host: 1,
+        dst: 3,
+        rate_bps: G100,
+        pkt_len: 1_460,
+        prio: 0,
+        start_ps: 3 * MS,
+        stop_ps: 10 * MS,
+        budget_bytes: Some(burst_bytes),
+    });
+    w.run_to_completion(12 * MS);
+    w.metrics.cbr[burst].loss_rate()
+}
+
+fn main() {
+    let sizes: Vec<u64> = (3..=8).map(|k| k * 100_000).collect();
+    let mut absorb: Vec<(String, u64)> = Vec::new();
+    for alpha in [1.0, 2.0, 4.0] {
+        let mut t = Table::new(
+            &format!("Fig 12, α = {alpha}: burst loss rate"),
+            &["burst_KB", "Occamy", "DT"],
+        );
+        let mut max_lossless = [0u64; 2];
+        for &size in &sizes {
+            let o = loss_rate(BmKind::Occamy, alpha, size);
+            let d = loss_rate(BmKind::Dt, alpha, size);
+            if o < 0.001 {
+                max_lossless[0] = size;
+            }
+            if d < 0.001 {
+                max_lossless[1] = size;
+            }
+            t.row(vec![
+                (size / 1000).to_string(),
+                format!("{o:.3}"),
+                format!("{d:.3}"),
+            ]);
+        }
+        t.print();
+        t.to_csv(&results_path(&format!("fig12_alpha{alpha}.csv")))
+            .ok();
+        absorb.push((format!("Occamy α={alpha}"), max_lossless[0]));
+        absorb.push((format!("DT α={alpha}"), max_lossless[1]));
+    }
+    let mut s = Table::new(
+        "Fig 12 summary: largest lossless burst",
+        &["scheme", "max_lossless_burst_KB"],
+    );
+    for (name, v) in &absorb {
+        s.row(vec![name.clone(), (v / 1000).to_string()]);
+    }
+    s.print();
+    s.to_csv(&results_path("fig12_summary.csv")).ok();
+    println!(
+        "Expected shape: Occamy's largest lossless burst grows with α and \
+         exceeds DT's at every α; DT's shrinks as α grows."
+    );
+}

@@ -1,0 +1,102 @@
+//! Reproduces paper **Fig. 15**: mitigation of the buffer-choking
+//! problem.
+//!
+//! Two *priority* queues per port (strict priority): high-priority query
+//! flows (α = 8 for every scheme) and low-priority CUBIC background
+//! (α = 1). Both classes congest the same receiver port. Ideally the LP
+//! background should not affect HP QCT at all.
+//!
+//! Paper shape: with background, DT's average QCT inflates up to ~6.6×
+//! (p99 up to ~60×); ABM helps but cannot fix it (up to ~5.7×); Occamy ≈
+//! Pushout are essentially unaffected.
+
+use occamy_bench::report::fmt;
+use occamy_bench::scenarios::{evaluated_schemes, TestbedBg, TestbedScenario};
+use occamy_bench::{quick_mode, results_path};
+use occamy_sim::topology::SchedKind;
+use occamy_sim::{CcAlgo, MS};
+use occamy_stats::Table;
+
+fn run(
+    kind: occamy_core::BmKind,
+    query_bytes: u64,
+    with_bg: bool,
+) -> occamy_bench::report::RunResult {
+    let mut sc = TestbedScenario::paper_dpdk(kind, 8.0).with_query_bytes(query_bytes);
+    sc.classes = 2;
+    // HP α = 8 for all schemes, LP α = 1 (paper §6.2).
+    sc.alpha_per_class = vec![8.0, 1.0];
+    sc.sched = SchedKind::StrictPriority;
+    sc.query_class = 0;
+    // The paper congests both priority queues at the SAME port: one host
+    // receives every query and all the background (§6.2).
+    sc.query_client = Some(0);
+    sc.bg_dst = Some(0);
+    sc.qps_per_host *= 4.0; // one client instead of eight: keep query count up
+    sc.bg = with_bg.then_some(TestbedBg {
+        load: 0.5,
+        cc: CcAlgo::Cubic,
+        class: 1,
+    });
+    if quick_mode() {
+        sc.duration_ps = 100 * MS;
+        sc.drain_ps = 300 * MS;
+    }
+    sc.run()
+}
+
+fn main() {
+    let sizes_pct: Vec<u64> = if quick_mode() {
+        vec![150, 250]
+    } else {
+        vec![150, 170, 190, 210, 230, 250]
+    };
+    let schemes = evaluated_schemes();
+
+    let mut cols: Vec<String> = vec!["query_pct_buffer".into()];
+    for (_, _, n) in &schemes {
+        cols.push(format!("{n}_no_bg"));
+        cols.push(format!("{n}_with_bg"));
+    }
+    let colrefs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut avg = Table::new(
+        "Fig 15a: average QCT (ms), w/o vs w/ LP background",
+        &colrefs,
+    );
+    let mut p99 = Table::new("Fig 15b: p99 QCT (ms), w/o vs w/ LP background", &colrefs);
+
+    let mut worst_dt = 0.0f64;
+    let mut worst_occamy = 0.0f64;
+    for &pct in &sizes_pct {
+        let bytes = 410_000 * pct / 100;
+        let mut row_avg = vec![pct.to_string()];
+        let mut row_p99 = vec![pct.to_string()];
+        for &(kind, _, name) in &schemes {
+            let mut without = run(kind, bytes, false);
+            let mut with = run(kind, bytes, true);
+            if let (Some(a), Some(b)) = (without.qct_ms.mean(), with.qct_ms.mean()) {
+                let ratio = b / a;
+                if name == "DT" {
+                    worst_dt = worst_dt.max(ratio);
+                }
+                if name == "Occamy" {
+                    worst_occamy = worst_occamy.max(ratio);
+                }
+            }
+            row_avg.push(fmt(without.qct_ms.mean()));
+            row_avg.push(fmt(with.qct_ms.mean()));
+            row_p99.push(fmt(without.qct_ms.p99()));
+            row_p99.push(fmt(with.qct_ms.p99()));
+        }
+        avg.row(row_avg);
+        p99.row(row_p99);
+    }
+    avg.print();
+    avg.to_csv(&results_path("fig15a.csv")).ok();
+    p99.print();
+    p99.to_csv(&results_path("fig15b.csv")).ok();
+    println!(
+        "Shape check: DT degrades {worst_dt:.1}x with background (paper: up \
+         to ~6.6x avg); Occamy degrades {worst_occamy:.1}x (paper: ~none)."
+    );
+}

@@ -1,0 +1,85 @@
+//! Reproduces paper **Fig. 17**: large-scale leaf-spine simulation with
+//! web-search background traffic.
+//!
+//! Query (incast) traffic over a 90%-loaded web-search background; four
+//! panels vs query size (% of a buffer partition): average / p99 QCT
+//! slowdown, overall background average FCT slowdown, small-background
+//! p99 FCT slowdown.
+//!
+//! Paper shape: Occamy reduces average QCT slowdown by up to ~44% vs DT
+//! and ~36% vs ABM, tracks Pushout closely, and also helps background
+//! flows (up to ~20% on average FCT, ~32% on small-flow p99).
+
+use occamy_bench::report::fmt;
+use occamy_bench::scenarios::{evaluated_schemes, LeafSpineScenario};
+use occamy_bench::{quick_mode, results_path};
+use occamy_sim::MS;
+use occamy_stats::Table;
+
+fn main() {
+    let sizes_pct: Vec<u64> = if quick_mode() {
+        vec![40, 100]
+    } else {
+        vec![20, 60, 100]
+    };
+    let schemes = evaluated_schemes();
+    let names: Vec<&str> = schemes.iter().map(|s| s.2).collect();
+    let mut cols = vec!["query_pct_buffer"];
+    cols.extend(&names);
+
+    let mut t_avg = Table::new("Fig 17a: average QCT slowdown", &cols);
+    let mut t_p99 = Table::new("Fig 17b: p99 QCT slowdown", &cols);
+    let mut t_bg = Table::new("Fig 17c: overall bg average FCT slowdown", &cols);
+    let mut t_small = Table::new("Fig 17d: small bg p99 FCT slowdown", &cols);
+
+    let mut dt_avg_at_mid = None;
+    let mut occamy_avg_at_mid = None;
+    for &pct in &sizes_pct {
+        let mut rows: [Vec<String>; 4] = Default::default();
+        for r in rows.iter_mut() {
+            r.push(pct.to_string());
+        }
+        for &(kind, alpha, name) in &schemes {
+            let mut sc = LeafSpineScenario::paper_scaled(kind, alpha);
+            sc.query_bytes = sc.buffer_per_8ports * pct / 100;
+            if quick_mode() {
+                sc.duration_ps = 10 * MS;
+                sc.drain_ps = 60 * MS;
+            }
+            let mut r = sc.run();
+            let avg = r.qct_slowdown.mean();
+            if pct == 40 {
+                if name == "DT" {
+                    dt_avg_at_mid = avg;
+                }
+                if name == "Occamy" {
+                    occamy_avg_at_mid = avg;
+                }
+            }
+            rows[0].push(fmt(avg));
+            rows[1].push(fmt(r.qct_slowdown.p99()));
+            rows[2].push(fmt(r.bg_slowdown.mean()));
+            rows[3].push(fmt(r.small_bg_slowdown.p99()));
+        }
+        t_avg.row(rows[0].clone());
+        t_p99.row(rows[1].clone());
+        t_bg.row(rows[2].clone());
+        t_small.row(rows[3].clone());
+    }
+    for (t, csv) in [
+        (&t_avg, "fig17a.csv"),
+        (&t_p99, "fig17b.csv"),
+        (&t_bg, "fig17c.csv"),
+        (&t_small, "fig17d.csv"),
+    ] {
+        t.print();
+        t.to_csv(&results_path(csv)).ok();
+    }
+    if let (Some(d), Some(o)) = (dt_avg_at_mid, occamy_avg_at_mid) {
+        println!(
+            "Shape check at 40% query size: Occamy cuts DT's average QCT \
+             slowdown by {:.0}% (paper: up to ~44%).",
+            (1.0 - o / d) * 100.0
+        );
+    }
+}

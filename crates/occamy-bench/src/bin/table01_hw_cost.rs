@@ -1,0 +1,83 @@
+//! Reproduces paper **Table 1**: hardware cost of Occamy's components.
+//!
+//! The paper synthesizes 286 lines of Verilog with Vivado (LUTs/FFs) and
+//! Design Compiler on FreePDK45 (timing/area/power). We reproduce the
+//! table through the analytic gate-level model in `occamy_hw::cost`,
+//! calibrated at the paper's design point (64 queues, 19-bit lengths),
+//! and extend it with the scaling the paper argues about: the head-drop
+//! selector versus the Maximum Finder that Pushout would need.
+
+use occamy_bench::results_path;
+use occamy_hw::cost;
+use occamy_stats::Table;
+
+fn row(name: &str, c: &cost::HwCost) -> Vec<String> {
+    vec![
+        name.to_string(),
+        c.luts.to_string(),
+        c.flip_flops.to_string(),
+        format!("{:.2}", c.timing_ns),
+        format!("{:.2e}", c.area_mm2),
+        format!("{:.3}", c.power_mw),
+    ]
+}
+
+fn main() {
+    let cols = &["module", "LUTs", "FFs", "timing_ns", "area_mm2", "power_mW"];
+
+    let mut model = Table::new("Table 1 (model): Occamy hardware cost at 64 queues", cols);
+    model.row(row(
+        "Selector",
+        &cost::selector(cost::PAPER_NUM_QUEUES, cost::PAPER_QLEN_BITS),
+    ));
+    model.row(row("Arbiter", &cost::fixed_priority_arbiter()));
+    model.row(row("Executor", &cost::head_drop_executor()));
+    model.row(row(
+        "Total",
+        &cost::occamy_total(cost::PAPER_NUM_QUEUES, cost::PAPER_QLEN_BITS),
+    ));
+    model.print();
+    model.to_csv(&results_path("table01_model.csv")).ok();
+
+    let mut paper = Table::new(
+        "Table 1 (paper): reported by Vivado / Design Compiler",
+        cols,
+    );
+    paper.row(row("Selector", &cost::PAPER_SELECTOR));
+    paper.row(row("Arbiter", &cost::PAPER_ARBITER));
+    paper.row(row("Executor", &cost::PAPER_EXECUTOR));
+    paper.print();
+
+    // Scaling study: Occamy's selector vs Pushout's Maximum Finder.
+    let mut scaling = Table::new(
+        "Extension: selector vs Maximum Finder (20-bit queue lengths)",
+        &[
+            "queues",
+            "selector_LUTs",
+            "selector_ns",
+            "maxfinder_LUTs",
+            "maxfinder_ns",
+            "MF_misses_1GHz",
+        ],
+    );
+    for n in [32, 64, 128, 256, 512, 1024] {
+        let s = cost::selector(n, 20);
+        let m = cost::maxfinder(n, 20);
+        scaling.row(vec![
+            n.to_string(),
+            s.luts.to_string(),
+            format!("{:.2}", s.timing_ns),
+            m.luts.to_string(),
+            format!("{:.2}", m.timing_ns),
+            if m.timing_ns > 1.0 { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    scaling.print();
+    scaling.to_csv(&results_path("table01_scaling.csv")).ok();
+
+    println!(
+        "Shape check: selector dominates Occamy's cost; total stays under \
+         0.03 mm2 / 1 mW; the Maximum Finder misses a 1 GHz cycle at switch \
+         scale while the selector does not (paper Difficulty 3)."
+    );
+}

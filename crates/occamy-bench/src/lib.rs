@@ -1,0 +1,31 @@
+//! Experiment harness for the Occamy reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the experiment index). This library holds the
+//! shared scenario builders:
+//!
+//! - [`scenarios::TestbedScenario`] — the 8-host / 10 Gbps / 410 KB DPDK
+//!   software-switch setup of §6.2 (Figs. 13–16) and the motivation
+//!   testbed of §3.1 (Fig. 6);
+//! - [`scenarios::LeafSpineScenario`] — the leaf-spine fabric of §6.4
+//!   (Figs. 7, 17–23), dimension-scaled to keep each data point seconds
+//!   of wall clock (see `EXPERIMENTS.md` for the scaling rationale);
+//! - [`report`] — ideal-FCT helpers, result aggregation and table/CSV
+//!   output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod scenarios;
+
+/// Returns `true` when quick mode is requested via `OCCAMY_QUICK=1`
+/// (shorter runs for CI / smoke testing).
+pub fn quick_mode() -> bool {
+    std::env::var("OCCAMY_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Path under `results/` for a figure's CSV output.
+pub fn results_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new("results").join(name)
+}

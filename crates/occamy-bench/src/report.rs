@@ -1,0 +1,129 @@
+//! Result aggregation shared by the figure binaries.
+
+use occamy_sim::{tx_time_ps, Ps};
+use occamy_stats::{FlowClass, FlowSet, Summary, SMALL_FLOW_BYTES};
+
+/// Ideal (contention-free) FCT model: one base RTT plus serialization of
+/// the payload (with per-MSS header overhead) at `bottleneck_bps`.
+#[derive(Debug, Clone, Copy)]
+pub struct IdealFct {
+    /// Base round-trip time of the path.
+    pub base_rtt_ps: Ps,
+    /// Bottleneck (access link) rate.
+    pub bottleneck_bps: u64,
+    /// MSS for header-overhead accounting.
+    pub mss: u64,
+}
+
+impl IdealFct {
+    /// Ideal FCT for a `bytes`-byte transfer.
+    pub fn fct_ps(&self, bytes: u64) -> Ps {
+        let pkts = bytes.div_ceil(self.mss).max(1);
+        let wire = bytes + pkts * 40;
+        self.base_rtt_ps + tx_time_ps(wire, self.bottleneck_bps)
+    }
+}
+
+/// Aggregated metrics of one simulation run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// QCT of finished queries, milliseconds.
+    pub qct_ms: Summary,
+    /// QCT slowdown versus the ideal aggregate transfer.
+    pub qct_slowdown: Summary,
+    /// Background FCT, milliseconds (all finished background flows).
+    pub bg_fct_ms: Summary,
+    /// Background FCT slowdown.
+    pub bg_slowdown: Summary,
+    /// Background FCT slowdown of small flows (< 100 KB).
+    pub small_bg_slowdown: Summary,
+    /// Background FCT of small flows, milliseconds.
+    pub small_bg_fct_ms: Summary,
+    /// Total packet losses (tail + head drops + evictions).
+    pub losses: u64,
+    /// Flows not finished when the run ended.
+    pub unfinished: usize,
+}
+
+/// Builds a [`RunResult`] from the flow records of a finished run.
+pub fn aggregate(flows: &FlowSet, ideal: IdealFct, losses: u64) -> RunResult {
+    let bg = |r: &occamy_stats::FlowRecord| r.class == FlowClass::Background;
+    let small_bg = |r: &occamy_stats::FlowRecord| {
+        r.class == FlowClass::Background && r.bytes < SMALL_FLOW_BYTES
+    };
+    RunResult {
+        qct_ms: flows.qct_ms(),
+        qct_slowdown: flows.qct_slowdown(|b| ideal.fct_ps(b)),
+        bg_fct_ms: flows.fct_ms(bg),
+        bg_slowdown: flows.slowdown(bg, |b| ideal.fct_ps(b)),
+        small_bg_slowdown: flows.slowdown(small_bg, |b| ideal.fct_ps(b)),
+        small_bg_fct_ms: flows.fct_ms(small_bg),
+        losses,
+        unfinished: flows.unfinished(),
+    }
+}
+
+/// Formats an optional statistic with 3 significant decimals.
+pub fn fmt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occamy_stats::FlowRecord;
+
+    #[test]
+    fn ideal_fct_includes_rtt_and_overhead() {
+        let m = IdealFct {
+            base_rtt_ps: 80_000_000, // 80 µs
+            bottleneck_bps: 100_000_000_000,
+            mss: 1_460,
+        };
+        // 1 MB: 685 packets ⇒ wire ≈ 1 027 400 B ⇒ ~82.2 µs at 100 G.
+        let ideal = m.fct_ps(1_000_000);
+        assert!(ideal > 80_000_000 + 80_000_000);
+        assert!(ideal < 80_000_000 + 90_000_000);
+    }
+
+    #[test]
+    fn aggregate_slices_small_background() {
+        let mut fs = FlowSet::new();
+        fs.push(FlowRecord {
+            id: 0,
+            bytes: 50_000,
+            start_ps: 0,
+            end_ps: Some(1_000_000_000),
+            class: FlowClass::Background,
+            query: None,
+        });
+        fs.push(FlowRecord {
+            id: 1,
+            bytes: 5_000_000,
+            start_ps: 0,
+            end_ps: Some(9_000_000_000),
+            class: FlowClass::Background,
+            query: None,
+        });
+        let ideal = IdealFct {
+            base_rtt_ps: 1,
+            bottleneck_bps: 10_000_000_000,
+            mss: 1_460,
+        };
+        let r = aggregate(&fs, ideal, 3);
+        assert_eq!(r.bg_fct_ms.len(), 2);
+        assert_eq!(r.small_bg_fct_ms.len(), 1);
+        assert_eq!(r.losses, 3);
+        assert_eq!(r.unfinished, 0);
+        assert!(r.qct_ms.is_empty());
+    }
+
+    #[test]
+    fn fmt_handles_missing() {
+        assert_eq!(fmt(None), "-");
+        assert_eq!(fmt(Some(1.23456)), "1.235");
+    }
+}

@@ -1,0 +1,467 @@
+//! Scenario builders shared by the figure binaries.
+
+use crate::report::{aggregate, IdealFct, RunResult};
+use occamy_core::BmKind;
+use occamy_sim::topology::{
+    leaf_spine, single_switch, BmSpec, LeafSpineCfg, SchedKind, SingleSwitchCfg,
+};
+use occamy_sim::{CcAlgo, FlowDesc, Ps, SimConfig, World, MS, US};
+use occamy_traffic::{web_search, BackgroundWorkload, FlowSpec, QueryWorkload, TrafficClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Converts a traffic-generator [`FlowSpec`] into a simulator flow.
+pub fn spec_to_flow(s: &FlowSpec, prio: u8, cc: CcAlgo, offset_ps: Ps) -> FlowDesc {
+    FlowDesc {
+        src: s.src,
+        dst: s.dst,
+        bytes: s.bytes,
+        start_ps: s.start_ps + offset_ps,
+        prio,
+        cc,
+        query: s.query,
+        is_query: s.class == TrafficClass::Query,
+    }
+}
+
+/// Background traffic running beside the queries.
+#[derive(Debug, Clone)]
+pub enum BgPattern {
+    /// No background traffic.
+    None,
+    /// Poisson web-search flows at `load` of access capacity.
+    WebSearch {
+        /// Offered load fraction (1.2 = 120%).
+        load: f64,
+    },
+    /// Repeated all-to-all rounds of fixed-size flows at `load`.
+    AllToAll {
+        /// Per-pair flow size.
+        flow_bytes: u64,
+        /// Offered load fraction.
+        load: f64,
+    },
+    /// Repeated double-binary-tree all-reduce rounds at `load`.
+    AllReduce {
+        /// Per-edge flow size.
+        flow_bytes: u64,
+        /// Offered load fraction.
+        load: f64,
+    },
+}
+
+// -------------------------------------------------------------------
+// DPDK-style single-switch testbed (paper §6.2, Figs. 13–16; §3.1 Fig. 6)
+// -------------------------------------------------------------------
+
+/// Background traffic on the testbed.
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedBg {
+    /// Offered load fraction of access capacity.
+    pub load: f64,
+    /// Congestion control of the background flows.
+    pub cc: CcAlgo,
+    /// Switch class carrying the background flows.
+    pub class: u8,
+}
+
+/// The 8-host, 10 Gbps, 410 KB shared-buffer software-switch testbed.
+#[derive(Debug, Clone)]
+pub struct TestbedScenario {
+    /// Buffer-management scheme.
+    pub bm: BmKind,
+    /// `α` per service class.
+    pub alpha_per_class: Vec<f64>,
+    /// Service classes per port.
+    pub classes: usize,
+    /// Port scheduler.
+    pub sched: SchedKind,
+    /// Host count (one per switch port).
+    pub n_hosts: usize,
+    /// Access-link rate.
+    pub host_rate_bps: u64,
+    /// Shared buffer in bytes (410 KB = 5.12 KB/port/Gbps × 8 × 10 G).
+    pub buffer_bytes: u64,
+    /// Total response bytes per query.
+    pub query_bytes: u64,
+    /// Servers per query.
+    pub query_fanout: usize,
+    /// Queries per second per client host.
+    pub qps_per_host: f64,
+    /// Class carrying query traffic.
+    pub query_class: u8,
+    /// Pin all queries to one client host (buffer-choking experiments);
+    /// `None` = every host runs a client.
+    pub query_client: Option<usize>,
+    /// Redirect all background flows to one receiver host; `None` =
+    /// uniformly random pairs.
+    pub bg_dst: Option<usize>,
+    /// Optional background traffic.
+    pub bg: Option<TestbedBg>,
+    /// Workload injection window.
+    pub duration_ps: Ps,
+    /// Extra time to let tails finish.
+    pub drain_ps: Ps,
+    /// RNG seed.
+    pub seed: u64,
+    /// Simulation parameters.
+    pub sim: SimConfig,
+}
+
+impl TestbedScenario {
+    /// The paper's §6.2 defaults: 8 hosts × 10 G, 410 KB buffer, ECN
+    /// K = 65 packets, query fan-out across all other hosts, 1% query
+    /// load, 50% web-search background, one class, FIFO.
+    pub fn paper_dpdk(bm: BmKind, alpha: f64) -> Self {
+        let query_bytes = 328_000; // 80% of buffer, Fig. 13's midpoint
+        TestbedScenario {
+            bm,
+            alpha_per_class: vec![alpha],
+            classes: 1,
+            sched: SchedKind::Fifo,
+            n_hosts: 8,
+            host_rate_bps: 10_000_000_000,
+            buffer_bytes: 410_000,
+            query_bytes,
+            query_fanout: 16,
+            qps_per_host: 0.01 * 10e9 / (8.0 * query_bytes as f64),
+            query_class: 0,
+            query_client: None,
+            bg_dst: None,
+            bg: Some(TestbedBg {
+                load: 0.5,
+                cc: CcAlgo::Dctcp,
+                class: 0,
+            }),
+            duration_ps: 400 * MS,
+            drain_ps: 600 * MS,
+            seed: 1,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Recomputes the query rate for a 1%-load Poisson query process at
+    /// the current query size.
+    pub fn with_query_bytes(mut self, bytes: u64) -> Self {
+        self.query_bytes = bytes;
+        self.qps_per_host = 0.01 * self.host_rate_bps as f64 / (8.0 * bytes as f64);
+        self
+    }
+
+    /// Ideal-FCT model for this topology.
+    pub fn ideal(&self) -> IdealFct {
+        IdealFct {
+            base_rtt_ps: 4 * US, // 4 × 1 µs propagation through the switch
+            bottleneck_bps: self.host_rate_bps,
+            mss: self.sim.mss as u64,
+        }
+    }
+
+    /// Builds the world without workload.
+    pub fn build(&self) -> World {
+        single_switch(SingleSwitchCfg {
+            host_rates_bps: vec![self.host_rate_bps; self.n_hosts],
+            prop_ps: 1 * US,
+            buffer_bytes: self.buffer_bytes,
+            classes: self.classes,
+            bm: BmSpec {
+                kind: self.bm,
+                alpha_per_class: self.alpha_per_class.clone(),
+            },
+            sched: self.sched,
+            sim: self.sim.clone(),
+        })
+    }
+
+    /// Injects background and query traffic into `world`.
+    pub fn inject(&self, world: &mut World) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        if let Some(bg) = self.bg {
+            let wl =
+                BackgroundWorkload::new(self.n_hosts, self.host_rate_bps, bg.load, web_search());
+            for f in wl.generate(self.duration_ps, &mut rng) {
+                world.add_flow(spec_to_flow(&f, bg.class, bg.cc, 0));
+            }
+        }
+        let warmup = self.duration_ps / 10;
+        let qw = QueryWorkload::new(
+            self.n_hosts,
+            self.query_fanout,
+            self.query_bytes,
+            self.qps_per_host,
+        );
+        for q in qw.generate(self.duration_ps - warmup, &mut rng) {
+            for f in &q.responses {
+                world.add_flow(spec_to_flow(f, self.query_class, CcAlgo::Dctcp, warmup));
+            }
+        }
+    }
+
+    /// Builds, injects, runs and aggregates.
+    pub fn run(&self) -> RunResult {
+        let (_, result) = self.run_world();
+        result
+    }
+
+    /// Like [`TestbedScenario::run`] but also returns the world for raw
+    /// metric access.
+    pub fn run_world(&self) -> (World, RunResult) {
+        let mut world = self.build();
+        self.inject(&mut world);
+        world.run_to_completion(self.duration_ps + self.drain_ps);
+        let flows = world.flow_records();
+        let result = aggregate(&flows, self.ideal(), world.metrics.drops.total_losses());
+        (world, result)
+    }
+}
+
+// -------------------------------------------------------------------
+// Leaf-spine fabric (paper §6.4, Figs. 7, 17–23)
+// -------------------------------------------------------------------
+
+/// The large-scale leaf-spine scenario, dimension-scaled from the
+/// paper's 128 × 100 G to 32 × 25 G (see `EXPERIMENTS.md`): all
+/// *ratios* that drive the result — buffer per port per Gbps, ECN
+/// threshold at 0.72 BDP, query size as a fraction of partition buffer,
+/// loads — are preserved.
+#[derive(Debug, Clone)]
+pub struct LeafSpineScenario {
+    /// Buffer-management scheme.
+    pub bm: BmKind,
+    /// DT/Occamy/ABM `α`.
+    pub alpha: f64,
+    /// Spine count.
+    pub spines: usize,
+    /// Leaf count.
+    pub leaves: usize,
+    /// Hosts per leaf.
+    pub hosts_per_leaf: usize,
+    /// Link rate (hosts and fabric).
+    pub link_rate_bps: u64,
+    /// Shared buffer per 8 ports.
+    pub buffer_per_8ports: u64,
+    /// Background traffic.
+    pub bg: BgPattern,
+    /// Total response bytes per query.
+    pub query_bytes: u64,
+    /// Incast fan-out per query.
+    pub query_fanout: usize,
+    /// Queries per second per client host.
+    pub qps_per_host: f64,
+    /// Workload injection window.
+    pub duration_ps: Ps,
+    /// Extra time to let tails finish.
+    pub drain_ps: Ps,
+    /// RNG seed.
+    pub seed: u64,
+    /// Simulation parameters.
+    pub sim: SimConfig,
+}
+
+impl LeafSpineScenario {
+    /// Scaled §6.4 defaults: 4 spines × 4 leaves × 8 hosts at 25 Gbps,
+    /// 1 MB per 8 ports (the same 5.12 KB/port/Gbps as Tomahawk), ECN
+    /// K = 0.72 BDP = 180 KB, min RTO 5 ms, 80 µs base RTT, fan-out 16,
+    /// 200 queries/s/host, query = 40% of partition buffer, web-search
+    /// background at 90%.
+    pub fn paper_scaled(bm: BmKind, alpha: f64) -> Self {
+        LeafSpineScenario {
+            bm,
+            alpha,
+            spines: 4,
+            leaves: 4,
+            hosts_per_leaf: 8,
+            link_rate_bps: 25_000_000_000,
+            buffer_per_8ports: 1_000_000,
+            bg: BgPattern::WebSearch { load: 0.9 },
+            query_bytes: 400_000,
+            query_fanout: 16,
+            qps_per_host: 400.0,
+            duration_ps: 15 * MS,
+            drain_ps: 100 * MS,
+            seed: 1,
+            sim: SimConfig {
+                ecn_k_bytes: 180_000,
+                min_rto: 5 * MS,
+                ..SimConfig::default()
+            },
+        }
+    }
+
+    /// Host count.
+    pub fn n_hosts(&self) -> usize {
+        self.leaves * self.hosts_per_leaf
+    }
+
+    /// Ideal-FCT model (80 µs base RTT, access-link bottleneck).
+    pub fn ideal(&self) -> IdealFct {
+        IdealFct {
+            base_rtt_ps: 80 * US,
+            bottleneck_bps: self.link_rate_bps,
+            mss: self.sim.mss as u64,
+        }
+    }
+
+    /// Builds the world without workload.
+    pub fn build(&self) -> World {
+        leaf_spine(LeafSpineCfg {
+            spines: self.spines,
+            leaves: self.leaves,
+            hosts_per_leaf: self.hosts_per_leaf,
+            host_rate_bps: self.link_rate_bps,
+            fabric_rate_bps: self.link_rate_bps,
+            link_prop_ps: 10 * US,
+            buffer_per_8ports_bytes: self.buffer_per_8ports,
+            classes: 1,
+            bm: BmSpec {
+                kind: self.bm,
+                alpha_per_class: vec![self.alpha],
+            },
+            sched: SchedKind::Fifo,
+            sim: self.sim.clone(),
+        })
+    }
+
+    /// Injects background and query traffic.
+    pub fn inject(&self, world: &mut World) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.n_hosts();
+        match &self.bg {
+            BgPattern::None => {}
+            BgPattern::WebSearch { load } => {
+                let wl = BackgroundWorkload::new(n, self.link_rate_bps, *load, web_search());
+                for f in wl.generate(self.duration_ps, &mut rng) {
+                    world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
+                }
+            }
+            BgPattern::AllToAll { flow_bytes, load } => {
+                // One round sends (n−1)·flow_bytes per host; pace rounds
+                // so the offered per-host load matches `load`.
+                let per_host = (n as u64 - 1) * flow_bytes;
+                let interval =
+                    (per_host as f64 * 8.0 / (load * self.link_rate_bps as f64) * 1e12) as Ps;
+                let mut t = 0;
+                while t < self.duration_ps {
+                    for f in occamy_traffic::all_to_all(n, *flow_bytes, t) {
+                        world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
+                    }
+                    t += interval.max(1);
+                }
+            }
+            BgPattern::AllReduce { flow_bytes, load } => {
+                // Each round moves ≤ 2·flow_bytes up and down per rank
+                // (two trees); the busiest host link carries ~4 flows.
+                let dbt = occamy_traffic::DoubleBinaryTree::new(n);
+                let per_host = 4 * flow_bytes;
+                let interval =
+                    (per_host as f64 * 8.0 / (load * self.link_rate_bps as f64) * 1e12) as Ps;
+                let bcast_off =
+                    (flow_bytes * 8).saturating_mul(1_000_000_000_000) / self.link_rate_bps;
+                let mut t = 0;
+                while t < self.duration_ps {
+                    for f in dbt.flows(*flow_bytes, t, bcast_off) {
+                        world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
+                    }
+                    t += interval.max(1);
+                }
+            }
+        }
+        if self.qps_per_host > 0.0 {
+            let warmup = self.duration_ps / 10;
+            let qw = QueryWorkload::new(n, self.query_fanout, self.query_bytes, self.qps_per_host);
+            for q in qw.generate(self.duration_ps - warmup, &mut rng) {
+                for f in &q.responses {
+                    world.add_flow(spec_to_flow(f, 0, CcAlgo::Dctcp, warmup));
+                }
+            }
+        }
+    }
+
+    /// Builds, injects, runs and aggregates.
+    pub fn run(&self) -> RunResult {
+        let (_, r) = self.run_world();
+        r
+    }
+
+    /// Like [`LeafSpineScenario::run`] but also returns the world.
+    pub fn run_world(&self) -> (World, RunResult) {
+        let mut world = self.build();
+        self.inject(&mut world);
+        world.run_to_completion(self.duration_ps + self.drain_ps);
+        let flows = world.flow_records();
+        let result = aggregate(&flows, self.ideal(), world.metrics.drops.total_losses());
+        (world, result)
+    }
+}
+
+/// The four schemes of the paper's end-to-end comparison, with their
+/// evaluated `α` values (§6.2): Occamy 8, ABM 2, DT 1, Pushout (no α).
+pub fn evaluated_schemes() -> Vec<(BmKind, f64, &'static str)> {
+    vec![
+        (BmKind::Occamy, 8.0, "Occamy"),
+        (BmKind::Abm, 2.0, "ABM"),
+        (BmKind::Dt, 1.0, "DT"),
+        (BmKind::Pushout, 1.0, "Pushout"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_defaults_match_paper() {
+        let s = TestbedScenario::paper_dpdk(BmKind::Dt, 1.0);
+        assert_eq!(s.n_hosts, 8);
+        assert_eq!(s.buffer_bytes, 410_000);
+        // 1% query load: qps × query_bytes × 8 / rate ≈ 0.01 per host.
+        let load = s.qps_per_host * s.query_bytes as f64 * 8.0 / s.host_rate_bps as f64;
+        assert!((load - 0.01).abs() < 1e-6, "query load {load}");
+    }
+
+    #[test]
+    fn with_query_bytes_rescales_rate() {
+        let s = TestbedScenario::paper_dpdk(BmKind::Dt, 1.0).with_query_bytes(82_000);
+        let load = s.qps_per_host * 82_000.0 * 8.0 / 10e9;
+        assert!((load - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leaf_spine_scaled_preserves_ratios() {
+        let s = LeafSpineScenario::paper_scaled(BmKind::Occamy, 8.0);
+        // 5.12 KB per port per Gbps, same as the paper's Tomahawk model.
+        let per_port_per_gbps = s.buffer_per_8ports as f64 / 8.0 / (s.link_rate_bps as f64 / 1e9);
+        assert!((per_port_per_gbps - 5_000.0).abs() < 150.0);
+        // ECN K = 0.72 BDP.
+        let bdp = s.link_rate_bps as f64 * 80e-6 / 8.0;
+        assert!((s.sim.ecn_k_bytes as f64 / bdp - 0.72).abs() < 0.01);
+        assert_eq!(s.n_hosts(), 32);
+    }
+
+    #[test]
+    fn evaluated_schemes_match_paper() {
+        let s = evaluated_schemes();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].1, 8.0);
+        assert_eq!(s[1].1, 2.0);
+    }
+
+    #[test]
+    fn tiny_testbed_run_is_sane() {
+        // A heavily shortened run must produce finished queries and a
+        // deterministic result.
+        let mut s = TestbedScenario::paper_dpdk(BmKind::Dt, 1.0).with_query_bytes(82_000);
+        s.duration_ps = 30 * MS;
+        s.drain_ps = 200 * MS;
+        s.bg = Some(TestbedBg {
+            load: 0.3,
+            cc: CcAlgo::Dctcp,
+            class: 0,
+        });
+        s.qps_per_host *= 20.0; // more queries in the short window
+        let r1 = s.run();
+        assert!(r1.qct_ms.len() > 0, "no queries finished");
+        let r2 = s.run();
+        assert_eq!(r1.qct_ms.mean(), r2.qct_ms.mean(), "non-deterministic");
+    }
+}

@@ -1,0 +1,270 @@
+//! ABM — Active Buffer Management (Addanki et al., SIGCOMM 2022).
+
+use crate::{BufferManager, BufferState, DropReason, QueueConfig, QueueId, RateEstimator, Verdict};
+
+/// Default time constant for the per-queue drain-rate estimator.
+const DEFAULT_TAU_NS: u64 = 100_000; // 100 µs
+
+/// Lower clamp on the normalized dequeue rate `μ` for a backlogged queue.
+///
+/// Prevents a fully starved queue from computing a zero threshold, which
+/// would wedge it permanently (its backlog could then never turn over).
+const MU_FLOOR: f64 = 1.0 / 128.0;
+
+/// Minimum backlog for a queue to count as *congested* in `n_p(t)`.
+///
+/// Transient few-packet backlogs (ECMP collisions, ACK bunching) must not
+/// inflate the congested-queue count, or thresholds collapse and ABM's
+/// burst tolerance falls below DT's — the opposite of its published
+/// behavior. Ten full-size packets is a conservative signal of standing
+/// congestion.
+const CONGESTED_FLOOR_BYTES: u64 = 15_000;
+
+/// Active Buffer Management — the strongest non-preemptive baseline.
+///
+/// ABM's threshold extends DT (paper §7, reference \[1\]):
+///
+/// ```text
+/// T_q(t) = α_p · (B − ΣQ(t)) · 1/n_p(t) · μ_q(t)
+/// ```
+///
+/// where `n_p(t)` is the number of congested queues in `q`'s priority
+/// class and `μ_q(t)` is `q`'s dequeue rate normalized by its port
+/// capacity. Dividing by `n_p` bounds the buffer a whole class can take;
+/// scaling by `μ` shrinks the claim of slow-draining queues, which
+/// mitigates (but, being non-preemptive, cannot eliminate — Fig. 15) the
+/// buffer-choking problem.
+///
+/// Implementation notes (documented substitutions for the testbed version):
+///
+/// - `μ` comes from a [`RateEstimator`] (EWMA, τ = 100 µs) fed by
+///   [`BufferManager::on_dequeue`]; an idle-to-active queue is re-seeded at
+///   full port rate so fresh bursts are not starved, and a backlogged
+///   queue's `μ` is clamped to a small floor (1/128) so it can still
+///   drain.
+/// - A queue is *congested* when its backlog exceeds a 15 KB floor;
+///   `n_p ≥ 1`.
+#[derive(Debug, Clone)]
+pub struct Abm {
+    cfg: QueueConfig,
+    drain: Vec<RateEstimator>,
+    now_ns: u64,
+}
+
+impl Abm {
+    /// Creates an ABM instance with the default estimator time constant.
+    pub fn new(cfg: QueueConfig) -> Self {
+        Self::with_tau(cfg, DEFAULT_TAU_NS)
+    }
+
+    /// Creates an ABM instance with an explicit estimator time constant.
+    pub fn with_tau(cfg: QueueConfig, tau_ns: u64) -> Self {
+        cfg.validate();
+        let drain = cfg
+            .port_rate_bps
+            .iter()
+            .map(|&r| RateEstimator::new(tau_ns, r as f64))
+            .collect();
+        Abm {
+            cfg,
+            drain,
+            now_ns: 0,
+        }
+    }
+
+    /// Number of congested queues in priority class `p` (backlog above
+    /// [`CONGESTED_FLOOR_BYTES`]).
+    fn congested_in_class(&self, p: u8, state: &BufferState) -> usize {
+        state
+            .iter()
+            .filter(|&(q, len)| len > CONGESTED_FLOOR_BYTES && self.cfg.priority[q] == p)
+            .count()
+            .max(1)
+    }
+
+    /// Normalized dequeue rate `μ_q ∈ [MU_FLOOR, 1]`.
+    fn mu(&self, q: QueueId, state: &BufferState) -> f64 {
+        if state.queue_len(q) == 0 {
+            // An empty queue has no drain history that matters; be
+            // optimistic so newly active queues get their fair claim.
+            return 1.0;
+        }
+        let port = self.cfg.port_rate_bps[q] as f64;
+        (self.drain[q].rate_bps(self.now_ns) / port).clamp(MU_FLOOR, 1.0)
+    }
+}
+
+impl BufferManager for Abm {
+    fn threshold(&self, q: QueueId, state: &BufferState) -> u64 {
+        let n_p = self.congested_in_class(self.cfg.priority[q], state) as f64;
+        let t = self.cfg.alpha[q] * state.free() as f64 / n_p * self.mu(q, state);
+        t.min(state.capacity() as f64) as u64
+    }
+
+    fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict {
+        if state.total() + len > state.capacity() {
+            return Verdict::Drop(DropReason::BufferFull);
+        }
+        if state.queue_len(q) + len > self.threshold(q, state) {
+            return Verdict::Drop(DropReason::OverThreshold);
+        }
+        Verdict::Accept
+    }
+
+    fn on_enqueue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
+        self.now_ns = now_ns;
+        // Idle → active transition: seed the drain estimate at port rate.
+        if state.queue_len(q) == len {
+            let port = self.cfg.port_rate_bps[q] as f64;
+            self.drain[q].reset(port, now_ns);
+        }
+    }
+
+    fn on_dequeue(&mut self, q: QueueId, len: u64, now_ns: u64, _state: &BufferState) {
+        self.now_ns = now_ns;
+        self.drain[q].record(len, now_ns);
+    }
+
+    fn select_victim(&mut self, _state: &BufferState) -> Option<QueueId> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "ABM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS_10: u64 = 10_000_000_000;
+
+    #[test]
+    fn empty_buffer_full_rate_matches_dt() {
+        // With one congested queue draining at full rate, ABM reduces to DT.
+        let bm = Abm::new(QueueConfig::uniform(2, GBPS_10, 2.0));
+        let state = BufferState::new(1_000, 2);
+        assert_eq!(bm.threshold(0, &state), 1_000); // capped at capacity
+    }
+
+    #[test]
+    fn threshold_divides_among_congested_classmates() {
+        let bm = Abm::new(QueueConfig::uniform(4, GBPS_10, 1.0));
+        let mut state = BufferState::new(400_000, 4);
+        let t1 = bm.threshold(0, &state);
+        state.enqueue(0, 50_000).unwrap();
+        state.enqueue(1, 50_000).unwrap();
+        let t2 = bm.threshold(0, &state);
+        // Two congested queues in the class: threshold roughly halves
+        // (modulo the free-buffer change).
+        assert!(
+            t2 <= t1 / 2,
+            "expected ~half of {t1}, got {t2} with two congested queues"
+        );
+    }
+
+    #[test]
+    fn tiny_backlogs_do_not_count_as_congested() {
+        let bm = Abm::new(QueueConfig::uniform(4, GBPS_10, 1.0));
+        let mut state = BufferState::new(400_000, 4);
+        // Three queues with a couple of packets each: below the floor.
+        for q in 0..3 {
+            state.enqueue(q, 3_000).unwrap();
+        }
+        // n_p stays 1, so queue 3 sees the full α·free threshold.
+        let t = bm.threshold(3, &state);
+        assert_eq!(t, state.free());
+    }
+
+    #[test]
+    fn priority_classes_are_counted_separately() {
+        let cfg = QueueConfig::uniform(4, GBPS_10, 1.0)
+            .with_priority(2, 1)
+            .with_priority(3, 1);
+        let bm = Abm::new(cfg);
+        let mut state = BufferState::new(400_000, 4);
+        state.enqueue(2, 50_000).unwrap();
+        state.enqueue(3, 50_000).unwrap();
+        // Class 0 has no congested queues, so queue 0 sees n_p = 1.
+        let t0 = bm.threshold(0, &state);
+        let t2 = bm.threshold(2, &state);
+        assert!(t0 > t2, "uncongested class should see larger threshold");
+    }
+
+    #[test]
+    fn slow_draining_queue_gets_smaller_threshold() {
+        let mut bm = Abm::new(QueueConfig::uniform(2, GBPS_10, 1.0));
+        let mut state = BufferState::new(100_000, 2);
+        state.enqueue(0, 10_000).unwrap();
+        state.enqueue(1, 10_000).unwrap();
+        bm.on_enqueue(0, 10_000, 0, &state);
+        bm.on_enqueue(1, 10_000, 0, &state);
+        // Queue 0 drains at line rate (1250 B/µs), queue 1 at 1/10 of it.
+        let mut now = 0;
+        for i in 0..3_000u64 {
+            now += 1_000;
+            bm.on_dequeue(0, 1_250, now, &state);
+            if i % 10 == 0 {
+                bm.on_dequeue(1, 1_250, now, &state);
+            }
+        }
+        let t_fast = bm.threshold(0, &state);
+        let t_slow = bm.threshold(1, &state);
+        assert!(
+            t_slow * 4 < t_fast,
+            "slow queue threshold {t_slow} not ≪ fast {t_fast}"
+        );
+    }
+
+    #[test]
+    fn empty_queue_is_optimistic() {
+        let mut bm = Abm::new(QueueConfig::uniform(2, GBPS_10, 1.0));
+        let mut state = BufferState::new(100_000, 2);
+        // Starve queue 0's estimator while it is empty for a long time.
+        bm.on_dequeue(0, 1, 1, &state);
+        bm.now_ns = 10_000_000;
+        // Despite the decayed estimator, an empty queue gets μ = 1.
+        state.enqueue(1, 50_000).unwrap();
+        let t = bm.threshold(0, &state);
+        assert_eq!(t, 50_000, "empty queue must see the full DT threshold");
+    }
+
+    #[test]
+    fn backlogged_queue_mu_is_floored() {
+        let mut bm = Abm::new(QueueConfig::uniform(1, GBPS_10, 1.0));
+        let mut state = BufferState::new(100_000, 1);
+        state.enqueue(0, 10_000).unwrap();
+        bm.on_enqueue(0, 10_000, 0, &state);
+        // Never dequeues; move time far forward so the estimate decays.
+        bm.now_ns = 1_000_000_000;
+        let t = bm.threshold(0, &state);
+        let expected_floor = (90_000.0 * MU_FLOOR) as u64;
+        assert!(
+            t >= expected_floor,
+            "threshold {t} fell below the μ floor {expected_floor}"
+        );
+    }
+
+    #[test]
+    fn admit_rejects_over_threshold() {
+        let bm = Abm::new(QueueConfig::uniform(2, GBPS_10, 0.5));
+        let mut state = BufferState::new(100_000, 2);
+        state.enqueue(0, 30_000).unwrap();
+        // free = 70 000, T = 35 000 for a congested queue at full μ.
+        assert_eq!(
+            bm.admit(0, 10_000, &state),
+            Verdict::Drop(DropReason::OverThreshold)
+        );
+        assert_eq!(bm.admit(1, 10_000, &state), Verdict::Accept);
+    }
+
+    #[test]
+    fn is_non_preemptive() {
+        let mut bm = Abm::new(QueueConfig::uniform(1, GBPS_10, 1.0));
+        let mut state = BufferState::new(1_000, 1);
+        state.enqueue(0, 900).unwrap();
+        assert_eq!(bm.select_victim(&state), None);
+        assert!(!bm.is_preemptive());
+    }
+}

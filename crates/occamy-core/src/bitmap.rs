@@ -1,0 +1,258 @@
+//! Over-allocation bitmap and round-robin cursor (paper Fig. 9, part 1 & 2).
+//!
+//! In hardware these are a row of comparators feeding a bitmap register and
+//! a round-robin arbiter; `occamy-hw` models their cost, while this module
+//! provides the behavioral implementation shared by all substrates.
+
+/// A fixed-size bitmap with one bit per queue.
+///
+/// Bit `i` is set when queue `i` is over-allocated (its length exceeds the
+/// DT threshold). Supports any number of queues, stored as 64-bit words so
+/// scans cost `O(words)` like the priority-encoder trees they model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl QueueBitmap {
+    /// Creates an all-zero bitmap for `len` queues.
+    pub fn new(len: usize) -> Self {
+        QueueBitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of queues tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap tracks zero queues.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets or clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Whether any bit is set.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// First set bit at index `>= start`, wrapping around once.
+    ///
+    /// This is the software equivalent of a rotating priority encoder: the
+    /// round-robin arbiter calls it with `start = last_grant + 1`.
+    pub fn next_set_wrapping(&self, start: usize) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let start = start % self.len;
+        self.next_set_in(start, self.len)
+            .or_else(|| self.next_set_in(0, start))
+    }
+
+    /// First set bit in `[from, to)`.
+    fn next_set_in(&self, from: usize, to: usize) -> Option<usize> {
+        let mut idx = from;
+        while idx < to {
+            let (w, b) = (idx / 64, idx % 64);
+            // Mask off bits below the current position, then scan the word.
+            let word = self.words[w] & !((1u64 << b) - 1);
+            if word != 0 {
+                let hit = w * 64 + word.trailing_zeros() as usize;
+                if hit < to {
+                    return Some(hit);
+                }
+                return None;
+            }
+            idx = (w + 1) * 64;
+        }
+        None
+    }
+
+    /// Iterator over set bit indices in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Round-robin grant cursor over a [`QueueBitmap`].
+///
+/// Mirrors the round-robin arbiter in the head-drop selector (Fig. 9 part
+/// 2): each grant starts searching one past the previous grant so every
+/// over-allocated queue is served in turn, which is what keeps Occamy's
+/// expulsion fair without tracking the longest queue.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinCursor {
+    next: usize,
+}
+
+impl RoundRobinCursor {
+    /// Creates a cursor starting at queue 0.
+    pub fn new() -> Self {
+        RoundRobinCursor::default()
+    }
+
+    /// Grants the next set bit after the previous grant, advancing the
+    /// cursor. Returns `None` when no bit is set.
+    pub fn grant(&mut self, bitmap: &QueueBitmap) -> Option<usize> {
+        let hit = bitmap.next_set_wrapping(self.next)?;
+        self.next = (hit + 1) % bitmap.len().max(1);
+        Some(hit)
+    }
+
+    /// The index the next search will start from.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bm = QueueBitmap::new(130);
+        assert!(!bm.any());
+        bm.set(0, true);
+        bm.set(64, true);
+        bm.set(129, true);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1));
+        assert_eq!(bm.count_ones(), 3);
+        bm.set(64, false);
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut bm = QueueBitmap::new(70);
+        bm.set(3, true);
+        bm.set(69, true);
+        bm.clear();
+        assert!(!bm.any());
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn next_set_wrapping_finds_forward_first() {
+        let mut bm = QueueBitmap::new(8);
+        bm.set(1, true);
+        bm.set(5, true);
+        assert_eq!(bm.next_set_wrapping(0), Some(1));
+        assert_eq!(bm.next_set_wrapping(2), Some(5));
+        assert_eq!(bm.next_set_wrapping(6), Some(1)); // wraps
+        assert_eq!(bm.next_set_wrapping(5), Some(5));
+    }
+
+    #[test]
+    fn next_set_across_word_boundary() {
+        let mut bm = QueueBitmap::new(200);
+        bm.set(150, true);
+        assert_eq!(bm.next_set_wrapping(10), Some(150));
+        assert_eq!(bm.next_set_wrapping(151), Some(150)); // wraps
+    }
+
+    #[test]
+    fn empty_bitmap_grants_nothing() {
+        let bm = QueueBitmap::new(16);
+        assert_eq!(bm.next_set_wrapping(3), None);
+        let mut cur = RoundRobinCursor::new();
+        assert_eq!(cur.grant(&bm), None);
+    }
+
+    #[test]
+    fn round_robin_visits_all_set_bits_in_turn() {
+        let mut bm = QueueBitmap::new(8);
+        for i in [1usize, 3, 6] {
+            bm.set(i, true);
+        }
+        let mut cur = RoundRobinCursor::new();
+        let grants: Vec<_> = (0..6).map(|_| cur.grant(&bm).unwrap()).collect();
+        assert_eq!(grants, vec![1, 3, 6, 1, 3, 6]);
+    }
+
+    #[test]
+    fn round_robin_adapts_to_bitmap_changes() {
+        let mut bm = QueueBitmap::new(4);
+        bm.set(0, true);
+        bm.set(2, true);
+        let mut cur = RoundRobinCursor::new();
+        assert_eq!(cur.grant(&bm), Some(0));
+        bm.set(0, false);
+        bm.set(3, true);
+        assert_eq!(cur.grant(&bm), Some(2));
+        assert_eq!(cur.grant(&bm), Some(3));
+        assert_eq!(cur.grant(&bm), Some(2));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut bm = QueueBitmap::new(100);
+        for i in [99usize, 0, 64, 63] {
+            bm.set(i, true);
+        }
+        let ones: Vec<_> = bm.iter_ones().collect();
+        assert_eq!(ones, vec![0, 63, 64, 99]);
+    }
+
+    #[test]
+    fn single_bit_round_robin_repeats() {
+        let mut bm = QueueBitmap::new(3);
+        bm.set(1, true);
+        let mut cur = RoundRobinCursor::new();
+        assert_eq!(cur.grant(&bm), Some(1));
+        assert_eq!(cur.grant(&bm), Some(1));
+    }
+}

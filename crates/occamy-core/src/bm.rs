@@ -1,0 +1,278 @@
+//! The [`BufferManager`] trait and scheme-independent configuration.
+
+use crate::{
+    Abm, BufferState, CompleteSharing, DynamicThreshold, Occamy, Pushout, QueueId, StaticThreshold,
+};
+
+/// Admission decision for an arriving packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Admit the packet into its queue.
+    Accept,
+    /// Drop the arriving packet (tail drop).
+    Drop(DropReason),
+    /// Admit the packet *after* evicting enough bytes from
+    /// [`BufferManager::select_victim`] queues to make room.
+    ///
+    /// Only synchronous-preemption schemes (Pushout) return this; Occamy
+    /// decouples admission from expulsion and never blocks an enqueue on
+    /// an eviction (paper §4.1, idea 1).
+    Evict,
+}
+
+/// Why an arriving packet was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The physical buffer has no room for the packet.
+    BufferFull,
+    /// The packet's queue is at or above its dynamic threshold.
+    OverThreshold,
+}
+
+/// Per-queue static configuration shared by all BM schemes.
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// `α` control parameter per queue (paper Eq. 1). Usually a power of
+    /// two so hardware can compute `α · free` with a shift.
+    pub alpha: Vec<f64>,
+    /// Drain capacity of each queue's egress port in bits/s (used by ABM's
+    /// normalized dequeue rate).
+    pub port_rate_bps: Vec<u64>,
+    /// Scheduling priority class per queue (0 = highest). ABM counts
+    /// congested queues per priority class.
+    pub priority: Vec<u8>,
+}
+
+impl QueueConfig {
+    /// A configuration with `n` queues, all with the same `alpha` and all
+    /// attached to ports of `port_rate_bps`.
+    pub fn uniform(n: usize, port_rate_bps: u64, alpha: f64) -> Self {
+        QueueConfig {
+            alpha: vec![alpha; n],
+            port_rate_bps: vec![port_rate_bps; n],
+            priority: vec![0; n],
+        }
+    }
+
+    /// Number of queues configured.
+    pub fn num_queues(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Sets `alpha` for one queue (builder style).
+    pub fn with_alpha(mut self, q: QueueId, alpha: f64) -> Self {
+        self.alpha[q] = alpha;
+        self
+    }
+
+    /// Sets the priority class for one queue (builder style).
+    pub fn with_priority(mut self, q: QueueId, prio: u8) -> Self {
+        self.priority[q] = prio;
+        self
+    }
+
+    /// Asserts internal vectors have equal lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-queue vectors disagree in length.
+    pub fn validate(&self) {
+        assert_eq!(self.alpha.len(), self.port_rate_bps.len());
+        assert_eq!(self.alpha.len(), self.priority.len());
+    }
+}
+
+/// How a preemptive scheme picks the next queue to head-drop from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Iterate over all over-allocated queues in round-robin order
+    /// (Occamy's default; cheap in hardware, paper §4.3).
+    RoundRobin,
+    /// Always pick the longest over-allocated queue (the ablation variant
+    /// of paper §6.4 / Fig. 21; needs a Maximum Finder in hardware).
+    Longest,
+}
+
+/// A buffer-management scheme.
+///
+/// The scheme never owns occupancy state — the substrate (simulator or
+/// cycle-level TM) owns a [`BufferState`] and passes it in. Schemes keep
+/// only their private auxiliary state (round-robin cursors, drain-rate
+/// estimators), which keeps one implementation usable from both substrates.
+pub trait BufferManager {
+    /// Admission threshold `T(t)` for queue `q`, in bytes.
+    fn threshold(&self, q: QueueId, state: &BufferState) -> u64;
+
+    /// Decides the fate of a `len`-byte packet arriving for queue `q`.
+    fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict;
+
+    /// Bookkeeping hook invoked after a packet is enqueued.
+    fn on_enqueue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
+        let _ = (q, len, now_ns, state);
+    }
+
+    /// Bookkeeping hook invoked after a packet leaves (dequeue or drop).
+    fn on_dequeue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
+        let _ = (q, len, now_ns, state);
+    }
+
+    /// Picks a queue to head-drop from, or `None` if no queue is
+    /// over-allocated (non-preemptive schemes always return `None`).
+    fn select_victim(&mut self, state: &BufferState) -> Option<QueueId>;
+
+    /// Whether this scheme ever expels already-admitted packets.
+    fn is_preemptive(&self) -> bool {
+        false
+    }
+
+    /// Short human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Identifier for constructing any of the built-in schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BmKind {
+    /// Dynamic Threshold.
+    Dt,
+    /// Occamy with round-robin expulsion.
+    Occamy,
+    /// Occamy with longest-queue expulsion (Fig. 21 ablation).
+    OccamyLongest,
+    /// Active Buffer Management.
+    Abm,
+    /// Pushout.
+    Pushout,
+    /// Per-queue static threshold.
+    Static,
+    /// Complete sharing (admit whenever there is space).
+    CompleteSharing,
+}
+
+impl BmKind {
+    /// All schemes compared in the paper's end-to-end evaluation.
+    pub const EVALUATED: [BmKind; 4] = [BmKind::Occamy, BmKind::Abm, BmKind::Dt, BmKind::Pushout];
+
+    /// Instantiates the scheme with the given queue configuration.
+    pub fn build(self, cfg: QueueConfig) -> AnyBm {
+        match self {
+            BmKind::Dt => AnyBm::Dt(DynamicThreshold::new(cfg)),
+            BmKind::Occamy => AnyBm::Occamy(Occamy::new(cfg)),
+            BmKind::OccamyLongest => AnyBm::Occamy(Occamy::with_policy(cfg, VictimPolicy::Longest)),
+            BmKind::Abm => AnyBm::Abm(Abm::new(cfg)),
+            BmKind::Pushout => AnyBm::Pushout(Pushout::new(cfg)),
+            BmKind::Static => AnyBm::Static(StaticThreshold::fair_share(cfg)),
+            BmKind::CompleteSharing => AnyBm::CompleteSharing(CompleteSharing::new(cfg)),
+        }
+    }
+}
+
+/// Enum dispatch over the built-in schemes.
+///
+/// Using an enum (rather than `Box<dyn BufferManager>`) keeps the hot
+/// admission path monomorphic and the simulator `Clone`-able.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub enum AnyBm {
+    Dt(DynamicThreshold),
+    Occamy(Occamy),
+    Abm(Abm),
+    Pushout(Pushout),
+    Static(StaticThreshold),
+    CompleteSharing(CompleteSharing),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            AnyBm::Dt($inner) => $body,
+            AnyBm::Occamy($inner) => $body,
+            AnyBm::Abm($inner) => $body,
+            AnyBm::Pushout($inner) => $body,
+            AnyBm::Static($inner) => $body,
+            AnyBm::CompleteSharing($inner) => $body,
+        }
+    };
+}
+
+impl BufferManager for AnyBm {
+    fn threshold(&self, q: QueueId, state: &BufferState) -> u64 {
+        dispatch!(self, bm => bm.threshold(q, state))
+    }
+
+    fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict {
+        dispatch!(self, bm => bm.admit(q, len, state))
+    }
+
+    fn on_enqueue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
+        dispatch!(self, bm => bm.on_enqueue(q, len, now_ns, state))
+    }
+
+    fn on_dequeue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
+        dispatch!(self, bm => bm.on_dequeue(q, len, now_ns, state))
+    }
+
+    fn select_victim(&mut self, state: &BufferState) -> Option<QueueId> {
+        dispatch!(self, bm => bm.select_victim(state))
+    }
+
+    fn is_preemptive(&self) -> bool {
+        dispatch!(self, bm => bm.is_preemptive())
+    }
+
+    fn name(&self) -> &'static str {
+        dispatch!(self, bm => bm.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_config_shape() {
+        let cfg = QueueConfig::uniform(8, 10_000_000_000, 1.0);
+        cfg.validate();
+        assert_eq!(cfg.num_queues(), 8);
+        assert!(cfg.alpha.iter().all(|&a| (a - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = QueueConfig::uniform(4, 1, 1.0)
+            .with_alpha(2, 8.0)
+            .with_priority(3, 1);
+        assert_eq!(cfg.alpha[2], 8.0);
+        assert_eq!(cfg.priority[3], 1);
+        assert_eq!(cfg.priority[0], 0);
+    }
+
+    #[test]
+    fn kind_builds_matching_scheme() {
+        let cfg = QueueConfig::uniform(2, 1_000, 1.0);
+        for kind in [
+            BmKind::Dt,
+            BmKind::Occamy,
+            BmKind::OccamyLongest,
+            BmKind::Abm,
+            BmKind::Pushout,
+            BmKind::Static,
+            BmKind::CompleteSharing,
+        ] {
+            let bm = kind.build(cfg.clone());
+            assert!(!bm.name().is_empty());
+            match kind {
+                BmKind::Occamy | BmKind::OccamyLongest | BmKind::Pushout => {
+                    assert!(bm.is_preemptive())
+                }
+                _ => assert!(!bm.is_preemptive()),
+            }
+        }
+    }
+
+    #[test]
+    fn evaluated_set_matches_paper() {
+        assert_eq!(BmKind::EVALUATED.len(), 4);
+        assert!(BmKind::EVALUATED.contains(&BmKind::Occamy));
+        assert!(BmKind::EVALUATED.contains(&BmKind::Pushout));
+    }
+}

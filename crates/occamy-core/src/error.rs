@@ -1,0 +1,96 @@
+//! Error type for buffer accounting operations.
+
+use core::fmt;
+
+/// Errors raised by shared-buffer accounting.
+///
+/// These indicate *caller* bugs (e.g. dequeuing more bytes than a queue
+/// holds) and are surfaced as `Result`s so that the simulator and the
+/// cycle-level traffic manager can assert conservation invariants instead
+/// of silently corrupting statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreError {
+    /// The queue index is out of range for this buffer partition.
+    UnknownQueue {
+        /// Offending queue index.
+        queue: usize,
+        /// Number of queues configured.
+        num_queues: usize,
+    },
+    /// A dequeue/drop would remove more bytes than the queue holds.
+    Underflow {
+        /// Offending queue index.
+        queue: usize,
+        /// Bytes requested to remove.
+        requested: u64,
+        /// Bytes actually queued.
+        available: u64,
+    },
+    /// An enqueue would exceed the physical buffer capacity.
+    ///
+    /// The BM admission check should prevent this; seeing it means the
+    /// caller enqueued without consulting [`crate::BufferManager::admit`].
+    Overflow {
+        /// Bytes requested to add.
+        requested: u64,
+        /// Free bytes remaining.
+        free: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CoreError::UnknownQueue { queue, num_queues } => {
+                write!(f, "queue {queue} out of range (have {num_queues} queues)")
+            }
+            CoreError::Underflow {
+                queue,
+                requested,
+                available,
+            } => write!(
+                f,
+                "queue {queue} underflow: tried to remove {requested} B, holds {available} B"
+            ),
+            CoreError::Overflow { requested, free } => {
+                write!(
+                    f,
+                    "buffer overflow: tried to add {requested} B, {free} B free"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = CoreError::Underflow {
+            queue: 3,
+            requested: 100,
+            available: 40,
+        };
+        let s = e.to_string();
+        assert!(s.contains("queue 3"));
+        assert!(s.contains("100"));
+        assert!(s.contains("40"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = CoreError::Overflow {
+            requested: 1,
+            free: 0,
+        };
+        let b = CoreError::Overflow {
+            requested: 1,
+            free: 0,
+        };
+        assert_eq!(a, b);
+    }
+}

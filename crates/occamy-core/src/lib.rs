@@ -1,0 +1,72 @@
+//! Buffer-management (BM) algorithms for on-chip shared-memory switches.
+//!
+//! This crate implements the algorithmic contribution of *"Occamy: A
+//! Preemptive Buffer Management for On-chip Shared-memory Switches"*
+//! (EuroSys 2025) together with the baselines it is evaluated against:
+//!
+//! - [`DynamicThreshold`] — the de-facto non-preemptive BM (Choudhury &
+//!   Hahne, ToN 1998). The admission threshold of every queue is
+//!   `T(t) = α · (B − Σqᵢ(t))`, proportional to the free buffer.
+//! - [`Occamy`] — the paper's preemptive BM. It reuses DT for admission
+//!   (with a large `α`, default 8) and adds a *reactive* expulsion path
+//!   that head-drops packets from all over-allocated queues (queues whose
+//!   length exceeds their threshold) in round-robin order, consuming only
+//!   redundant memory bandwidth.
+//! - [`Abm`] — Active Buffer Management (SIGCOMM 2022), a non-preemptive
+//!   baseline whose threshold also scales with the number of congested
+//!   queues per priority and each queue's normalized drain rate.
+//! - [`Pushout`] — the classically optimal preemptive BM: admit whenever
+//!   there is free space; when full, evict from the longest queue.
+//! - [`StaticThreshold`] and [`CompleteSharing`] — context baselines.
+//!
+//! The algorithms are substrate-independent value types: the same code is
+//! driven by the cycle-level traffic manager in `occamy-hw` and by the
+//! packet-level network simulator in `occamy-sim`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use occamy_core::{BufferManager, BufferState, Occamy, QueueConfig, Verdict};
+//!
+//! // A 12 KB shared buffer with two queues on a 10 Gbps port.
+//! let cfg = QueueConfig::uniform(2, 10_000_000_000, 8.0);
+//! let mut state = BufferState::new(12_000, 2);
+//! let mut bm = Occamy::new(cfg);
+//!
+//! // An empty buffer admits a packet into queue 0.
+//! assert_eq!(bm.admit(0, 1_500, &state), Verdict::Accept);
+//! state.enqueue(0, 1_500).unwrap();
+//!
+//! // No queue exceeds its threshold yet, so there is nothing to expel.
+//! assert_eq!(bm.select_victim(&state), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abm;
+mod bitmap;
+mod bm;
+mod dt;
+mod error;
+mod occamy;
+mod pushout;
+mod rate;
+mod state;
+mod static_threshold;
+mod token_bucket;
+
+pub use abm::Abm;
+pub use bitmap::{QueueBitmap, RoundRobinCursor};
+pub use bm::{AnyBm, BmKind, BufferManager, DropReason, QueueConfig, Verdict, VictimPolicy};
+pub use dt::DynamicThreshold;
+pub use error::CoreError;
+pub use occamy::Occamy;
+pub use pushout::Pushout;
+pub use rate::RateEstimator;
+pub use state::BufferState;
+pub use static_threshold::{CompleteSharing, StaticThreshold};
+pub use token_bucket::TokenBucket;
+
+/// Queue identifier within one shared-buffer partition.
+pub type QueueId = usize;

@@ -1,0 +1,225 @@
+//! Occamy — the paper's preemptive buffer management scheme.
+
+use crate::{
+    BufferManager, BufferState, DynamicThreshold, QueueBitmap, QueueConfig, QueueId,
+    RoundRobinCursor, Verdict, VictimPolicy,
+};
+
+/// Occamy: DT admission plus reactive round-robin packet expulsion.
+///
+/// Occamy combines two components (paper §4.1):
+///
+/// - **Proactive**: admission is plain [`DynamicThreshold`] with a large
+///   `α` (the paper recommends `α = 8`), reserving only a small fraction of
+///   free buffer (`B / (1 + αN)`) because the reactive path can vacate
+///   buffer quickly for newly active queues.
+/// - **Reactive**: a queue is *over-allocated* iff its length exceeds its
+///   current threshold `T(t)`. [`Occamy::select_victim`] maintains the
+///   over-allocation bitmap and grants victims in round-robin order
+///   (Fig. 9); the substrate head-drops one packet from the victim whenever
+///   redundant memory bandwidth is available (see
+///   [`crate::TokenBucket`]).
+///
+/// Unlike Pushout, admission never waits for an expulsion: `admit` only
+/// ever answers `Accept` or `Drop` (idea 1 of §4.1), so the enqueue
+/// pipeline stays simple.
+#[derive(Debug, Clone)]
+pub struct Occamy {
+    dt: DynamicThreshold,
+    policy: VictimPolicy,
+    cursor: RoundRobinCursor,
+    bitmap: QueueBitmap,
+}
+
+impl Occamy {
+    /// Recommended admission `α` from the paper's §4.4 / §6.3 analysis.
+    pub const RECOMMENDED_ALPHA: f64 = 8.0;
+
+    /// Creates Occamy with round-robin victim selection.
+    pub fn new(cfg: QueueConfig) -> Self {
+        Self::with_policy(cfg, VictimPolicy::RoundRobin)
+    }
+
+    /// Creates Occamy with an explicit victim policy (the `Longest`
+    /// variant is the Fig. 21 ablation).
+    pub fn with_policy(cfg: QueueConfig, policy: VictimPolicy) -> Self {
+        let n = cfg.num_queues();
+        Occamy {
+            dt: DynamicThreshold::new(cfg),
+            policy,
+            cursor: RoundRobinCursor::new(),
+            bitmap: QueueBitmap::new(n),
+        }
+    }
+
+    /// The victim-selection policy in use.
+    pub fn policy(&self) -> VictimPolicy {
+        self.policy
+    }
+
+    /// Rebuilds the over-allocation bitmap from current state.
+    ///
+    /// A queue is over-allocated iff `q(t) > T(t)` (paper §4.3). In
+    /// hardware this is a row of comparators that refresh every cycle; here
+    /// we refresh on demand before each victim grant.
+    fn refresh_bitmap(&mut self, state: &BufferState) {
+        for (q, len) in state.iter() {
+            let over = len > self.dt.threshold(q, state);
+            self.bitmap.set(q, over);
+        }
+    }
+
+    /// Read-only view of the over-allocation bitmap after the last
+    /// [`Occamy::select_victim`] call (for instrumentation and tests).
+    pub fn bitmap(&self) -> &QueueBitmap {
+        &self.bitmap
+    }
+}
+
+impl BufferManager for Occamy {
+    fn threshold(&self, q: QueueId, state: &BufferState) -> u64 {
+        self.dt.threshold(q, state)
+    }
+
+    fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict {
+        // Admission is exactly DT (paper §4.2): no new mechanism, only an
+        // adjusted α supplied through the queue configuration.
+        self.dt.admit(q, len, state)
+    }
+
+    fn select_victim(&mut self, state: &BufferState) -> Option<QueueId> {
+        self.refresh_bitmap(state);
+        match self.policy {
+            VictimPolicy::RoundRobin => self.cursor.grant(&self.bitmap),
+            VictimPolicy::Longest => self
+                .bitmap
+                .iter_ones()
+                .max_by_key(|&q| (state.queue_len(q), std::cmp::Reverse(q))),
+        }
+    }
+
+    fn is_preemptive(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        match self.policy {
+            VictimPolicy::RoundRobin => "Occamy",
+            VictimPolicy::Longest => "Occamy-Longest",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(alpha: f64) -> (Occamy, BufferState) {
+        let cfg = QueueConfig::uniform(4, 10_000_000_000, alpha);
+        (Occamy::new(cfg), BufferState::new(4_000, 4))
+    }
+
+    #[test]
+    fn admission_matches_dt() {
+        let (bm, state) = setup(1.0);
+        let dt = DynamicThreshold::new(QueueConfig::uniform(4, 10_000_000_000, 1.0));
+        for len in [1u64, 100, 1_000, 4_000, 5_000] {
+            assert_eq!(bm.admit(0, len, &state), dt.admit(0, len, &state));
+        }
+    }
+
+    #[test]
+    fn no_victim_when_under_threshold() {
+        let (mut bm, mut state) = setup(8.0);
+        state.enqueue(0, 1_000).unwrap();
+        // T = 8 * 3000 = capped at capacity; queue 0 is far below it.
+        assert_eq!(bm.select_victim(&state), None);
+        assert!(!bm.bitmap().any());
+    }
+
+    #[test]
+    fn over_allocated_queue_becomes_victim() {
+        let (mut bm, mut state) = setup(1.0);
+        // Fill queue 0 to 3000: free = 1000, T = 1000 < 3000 ⇒ over-allocated.
+        state.enqueue(0, 3_000).unwrap();
+        assert_eq!(bm.select_victim(&state), Some(0));
+        assert!(bm.bitmap().get(0));
+    }
+
+    #[test]
+    fn round_robin_across_over_allocated_queues() {
+        let (mut bm, mut state) = setup(0.25);
+        // All four queues hold 600; free = 1600, T = 400 ⇒ all over-allocated.
+        for q in 0..4 {
+            state.enqueue(q, 600).unwrap();
+        }
+        let grants: Vec<_> = (0..8).map(|_| bm.select_victim(&state).unwrap()).collect();
+        assert_eq!(grants, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn longest_policy_picks_longest_over_allocated() {
+        let cfg = QueueConfig::uniform(3, 1, 0.25);
+        let mut bm = Occamy::with_policy(cfg, VictimPolicy::Longest);
+        let mut state = BufferState::new(3_000, 3);
+        state.enqueue(0, 700).unwrap();
+        state.enqueue(1, 900).unwrap();
+        state.enqueue(2, 800).unwrap();
+        // free = 600, T = 150: all over-allocated; longest is queue 1.
+        assert_eq!(bm.select_victim(&state), Some(1));
+        // Longest policy is stateless: repeated calls return the same queue.
+        assert_eq!(bm.select_victim(&state), Some(1));
+        assert_eq!(bm.name(), "Occamy-Longest");
+    }
+
+    #[test]
+    fn victim_disappears_once_drained_below_threshold() {
+        let (mut bm, mut state) = setup(1.0);
+        state.enqueue(0, 3_000).unwrap();
+        assert_eq!(bm.select_victim(&state), Some(0));
+        // Drain 2500: queue = 500, free = 3500, T = 3500 ⇒ no longer over.
+        state.dequeue(0, 2_500).unwrap();
+        assert_eq!(bm.select_victim(&state), None);
+    }
+
+    #[test]
+    fn expulsion_lets_newcomer_reach_fair_share() {
+        // The headline behavior (paper Fig. 11): queue 0 is entrenched at a
+        // high occupancy; when queue 1 activates, repeated head drops of
+        // queue 0 must release buffer until both hold the fair share.
+        let (mut bm, mut state) = setup(8.0);
+        // Entrench queue 0 at its solo steady state: q = αB/(1+α) = 3555.
+        while bm.admit(0, 1, &state) == Verdict::Accept {
+            state.enqueue(0, 1).unwrap();
+        }
+        let entrenched = state.queue_len(0);
+        assert!(entrenched > 3_500);
+        // Queue 1 activates; interleave arrivals with expulsions.
+        let mut q1_accepted = 0u64;
+        for _ in 0..40_000 {
+            if bm.admit(1, 1, &state) == Verdict::Accept {
+                state.enqueue(1, 1).unwrap();
+                q1_accepted += 1;
+            }
+            if let Some(victim) = bm.select_victim(&state) {
+                state.dequeue(victim, 1).unwrap();
+            }
+        }
+        // Fair share for 2 congested queues: αB/(1+2α) = 1882.
+        let fair = (8.0 * 4_000.0 / 17.0) as u64;
+        assert!(
+            q1_accepted >= fair * 9 / 10,
+            "queue 1 only reached {q1_accepted} of fair {fair}"
+        );
+        let q0 = state.queue_len(0);
+        assert!(
+            q0 < entrenched && q0 <= fair * 11 / 10,
+            "queue 0 still entrenched at {q0} (fair share {fair})"
+        );
+    }
+
+    #[test]
+    fn recommended_alpha_is_eight() {
+        assert_eq!(Occamy::RECOMMENDED_ALPHA, 8.0);
+    }
+}

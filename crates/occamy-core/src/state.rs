@@ -1,0 +1,262 @@
+//! Shared-buffer occupancy accounting.
+
+use crate::{CoreError, QueueId};
+
+/// Occupancy statistics of one shared-buffer partition.
+///
+/// This mirrors the "Statistics" block of the traffic manager (paper
+/// Fig. 1): per-queue byte counts plus the total occupancy, read by the
+/// admission module and updated on every enqueue, dequeue and drop.
+///
+/// All quantities are in bytes. The structure enforces the two physical
+/// invariants of a shared buffer:
+///
+/// 1. `total() == Σ queue_len(q)` (checked in debug builds on every update);
+/// 2. `total() <= capacity()` — an enqueue beyond capacity is rejected with
+///    [`CoreError::Overflow`].
+#[derive(Debug, Clone)]
+pub struct BufferState {
+    capacity: u64,
+    queue_len: Vec<u64>,
+    total: u64,
+}
+
+impl BufferState {
+    /// Creates an empty buffer of `capacity` bytes shared by `num_queues` queues.
+    pub fn new(capacity: u64, num_queues: usize) -> Self {
+        BufferState {
+            capacity,
+            queue_len: vec![0; num_queues],
+            total: 0,
+        }
+    }
+
+    /// Physical capacity `B` in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of queues sharing the buffer.
+    #[inline]
+    pub fn num_queues(&self) -> usize {
+        self.queue_len.len()
+    }
+
+    /// Current total occupancy `Σ qᵢ(t)` in bytes.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Free buffer `B − Σ qᵢ(t)` in bytes.
+    #[inline]
+    pub fn free(&self) -> u64 {
+        self.capacity - self.total
+    }
+
+    /// Length of queue `q` in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range; use [`BufferState::try_queue_len`]
+    /// for a fallible variant.
+    #[inline]
+    pub fn queue_len(&self, q: QueueId) -> u64 {
+        self.queue_len[q]
+    }
+
+    /// Fallible variant of [`BufferState::queue_len`].
+    pub fn try_queue_len(&self, q: QueueId) -> Result<u64, CoreError> {
+        self.queue_len
+            .get(q)
+            .copied()
+            .ok_or(CoreError::UnknownQueue {
+                queue: q,
+                num_queues: self.queue_len.len(),
+            })
+    }
+
+    /// Iterator over `(queue, length)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (QueueId, u64)> + '_ {
+        self.queue_len.iter().copied().enumerate()
+    }
+
+    /// Number of queues with a non-zero backlog.
+    pub fn active_queues(&self) -> usize {
+        self.queue_len.iter().filter(|&&l| l > 0).count()
+    }
+
+    /// Index of the longest queue, ties broken by lowest index.
+    ///
+    /// Returns `None` when the buffer is empty. This is the oracle that
+    /// Pushout needs and that the paper argues is expensive to maintain in
+    /// hardware (Fig. 4); the cycle-level model in `occamy-hw` charges for
+    /// it explicitly.
+    pub fn longest_queue(&self) -> Option<QueueId> {
+        let (idx, &len) = self
+            .queue_len
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        if len == 0 {
+            None
+        } else {
+            Some(idx)
+        }
+    }
+
+    /// Adds `len` bytes to queue `q`.
+    ///
+    /// Fails with [`CoreError::Overflow`] if the buffer cannot hold the
+    /// bytes — callers must run BM admission first.
+    pub fn enqueue(&mut self, q: QueueId, len: u64) -> Result<(), CoreError> {
+        if q >= self.queue_len.len() {
+            return Err(CoreError::UnknownQueue {
+                queue: q,
+                num_queues: self.queue_len.len(),
+            });
+        }
+        if self.total + len > self.capacity {
+            return Err(CoreError::Overflow {
+                requested: len,
+                free: self.free(),
+            });
+        }
+        self.queue_len[q] += len;
+        self.total += len;
+        self.debug_check();
+        Ok(())
+    }
+
+    /// Removes `len` bytes from queue `q` (normal dequeue or head drop).
+    pub fn dequeue(&mut self, q: QueueId, len: u64) -> Result<(), CoreError> {
+        if q >= self.queue_len.len() {
+            return Err(CoreError::UnknownQueue {
+                queue: q,
+                num_queues: self.queue_len.len(),
+            });
+        }
+        if self.queue_len[q] < len {
+            return Err(CoreError::Underflow {
+                queue: q,
+                requested: len,
+                available: self.queue_len[q],
+            });
+        }
+        self.queue_len[q] -= len;
+        self.total -= len;
+        self.debug_check();
+        Ok(())
+    }
+
+    #[inline]
+    fn debug_check(&self) {
+        debug_assert_eq!(
+            self.total,
+            self.queue_len.iter().sum::<u64>(),
+            "total occupancy out of sync with per-queue lengths"
+        );
+        debug_assert!(self.total <= self.capacity, "occupancy exceeds capacity");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_buffer_is_empty() {
+        let s = BufferState::new(1000, 4);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.free(), 1000);
+        assert_eq!(s.num_queues(), 4);
+        assert_eq!(s.active_queues(), 0);
+        assert_eq!(s.longest_queue(), None);
+    }
+
+    #[test]
+    fn enqueue_dequeue_roundtrip() {
+        let mut s = BufferState::new(1000, 2);
+        s.enqueue(0, 300).unwrap();
+        s.enqueue(1, 200).unwrap();
+        assert_eq!(s.total(), 500);
+        assert_eq!(s.queue_len(0), 300);
+        assert_eq!(s.longest_queue(), Some(0));
+        s.dequeue(0, 300).unwrap();
+        assert_eq!(s.longest_queue(), Some(1));
+        s.dequeue(1, 200).unwrap();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        let mut s = BufferState::new(100, 1);
+        s.enqueue(0, 60).unwrap();
+        let err = s.enqueue(0, 41).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::Overflow {
+                requested: 41,
+                free: 40
+            }
+        );
+        // State unchanged after the failed enqueue.
+        assert_eq!(s.total(), 60);
+    }
+
+    #[test]
+    fn underflow_is_rejected() {
+        let mut s = BufferState::new(100, 1);
+        s.enqueue(0, 10).unwrap();
+        let err = s.dequeue(0, 11).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::Underflow {
+                queue: 0,
+                requested: 11,
+                available: 10
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_queue_is_rejected() {
+        let mut s = BufferState::new(100, 2);
+        assert!(matches!(
+            s.enqueue(2, 1),
+            Err(CoreError::UnknownQueue { queue: 2, .. })
+        ));
+        assert!(matches!(
+            s.dequeue(5, 1),
+            Err(CoreError::UnknownQueue { queue: 5, .. })
+        ));
+        assert!(s.try_queue_len(2).is_err());
+    }
+
+    #[test]
+    fn exact_fill_is_allowed() {
+        let mut s = BufferState::new(100, 2);
+        s.enqueue(0, 100).unwrap();
+        assert_eq!(s.free(), 0);
+        assert!(s.enqueue(1, 1).is_err());
+    }
+
+    #[test]
+    fn longest_queue_tie_breaks_low_index() {
+        let mut s = BufferState::new(1000, 3);
+        s.enqueue(2, 100).unwrap();
+        s.enqueue(1, 100).unwrap();
+        assert_eq!(s.longest_queue(), Some(1));
+    }
+
+    #[test]
+    fn active_queue_count_tracks_backlogs() {
+        let mut s = BufferState::new(1000, 3);
+        s.enqueue(0, 1).unwrap();
+        s.enqueue(2, 5).unwrap();
+        assert_eq!(s.active_queues(), 2);
+        s.dequeue(0, 1).unwrap();
+        assert_eq!(s.active_queues(), 1);
+    }
+}

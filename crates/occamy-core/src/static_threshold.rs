@@ -1,0 +1,181 @@
+//! Static-threshold and complete-sharing context baselines (paper §7).
+
+use crate::{BufferManager, BufferState, DropReason, QueueConfig, QueueId, Verdict};
+
+/// Static per-queue thresholds (SMXQ-family, Irland 1978).
+///
+/// Each queue may hold at most a fixed number of bytes regardless of the
+/// buffer's overall occupancy. Simple and perfectly isolating, but either
+/// wastes buffer (small thresholds) or loses isolation (thresholds whose
+/// sum exceeds `B`); the paper cites this family as the pre-DT state of
+/// the art.
+#[derive(Debug, Clone)]
+pub struct StaticThreshold {
+    cfg: QueueConfig,
+    limits: Vec<u64>,
+}
+
+impl StaticThreshold {
+    /// Creates static thresholds with explicit per-queue byte limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limits.len() != cfg.num_queues()`.
+    pub fn new(cfg: QueueConfig, limits: Vec<u64>) -> Self {
+        cfg.validate();
+        assert_eq!(limits.len(), cfg.num_queues(), "one limit per queue");
+        StaticThreshold { cfg, limits }
+    }
+
+    /// The queue configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
+    }
+
+    /// Creates static thresholds at the fair share `B/N`.
+    ///
+    /// The capacity is not known until the first `admit`/`threshold` call,
+    /// so the fair share is computed on demand from the passed-in state;
+    /// this constructor records a sentinel meaning "fair share".
+    pub fn fair_share(cfg: QueueConfig) -> Self {
+        let n = cfg.num_queues();
+        StaticThreshold {
+            cfg,
+            limits: vec![u64::MAX; n],
+        }
+    }
+
+    fn limit(&self, q: QueueId, state: &BufferState) -> u64 {
+        let raw = self.limits[q];
+        if raw == u64::MAX {
+            state.capacity() / state.num_queues().max(1) as u64
+        } else {
+            raw
+        }
+    }
+}
+
+impl BufferManager for StaticThreshold {
+    fn threshold(&self, q: QueueId, state: &BufferState) -> u64 {
+        self.limit(q, state)
+    }
+
+    fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict {
+        if state.total() + len > state.capacity() {
+            return Verdict::Drop(DropReason::BufferFull);
+        }
+        if state.queue_len(q) + len > self.limit(q, state) {
+            return Verdict::Drop(DropReason::OverThreshold);
+        }
+        Verdict::Accept
+    }
+
+    fn select_victim(&mut self, _state: &BufferState) -> Option<QueueId> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "Static"
+    }
+}
+
+/// Complete sharing: admit whenever the buffer has room.
+///
+/// Maximally efficient, zero isolation — one queue can monopolize the
+/// whole buffer. Included as the no-management endpoint of the design
+/// space.
+#[derive(Debug, Clone)]
+pub struct CompleteSharing {
+    cfg: QueueConfig,
+}
+
+impl CompleteSharing {
+    /// Creates a complete-sharing instance.
+    pub fn new(cfg: QueueConfig) -> Self {
+        cfg.validate();
+        CompleteSharing { cfg }
+    }
+
+    /// The queue configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
+    }
+}
+
+impl BufferManager for CompleteSharing {
+    fn threshold(&self, _q: QueueId, state: &BufferState) -> u64 {
+        state.capacity()
+    }
+
+    fn admit(&self, _q: QueueId, len: u64, state: &BufferState) -> Verdict {
+        if state.total() + len > state.capacity() {
+            Verdict::Drop(DropReason::BufferFull)
+        } else {
+            Verdict::Accept
+        }
+    }
+
+    fn select_victim(&mut self, _state: &BufferState) -> Option<QueueId> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "CompleteSharing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_enforces_fixed_limits() {
+        let cfg = QueueConfig::uniform(2, 1, 1.0);
+        let bm = StaticThreshold::new(cfg, vec![300, 700]);
+        let mut state = BufferState::new(1_000, 2);
+        assert_eq!(bm.admit(0, 300, &state), Verdict::Accept);
+        state.enqueue(0, 300).unwrap();
+        assert_eq!(
+            bm.admit(0, 1, &state),
+            Verdict::Drop(DropReason::OverThreshold)
+        );
+        assert_eq!(bm.admit(1, 700, &state), Verdict::Accept);
+    }
+
+    #[test]
+    fn fair_share_splits_capacity_evenly() {
+        let bm = StaticThreshold::fair_share(QueueConfig::uniform(4, 1, 1.0));
+        let state = BufferState::new(1_000, 4);
+        assert_eq!(bm.threshold(0, &state), 250);
+        assert_eq!(bm.threshold(3, &state), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "one limit per queue")]
+    fn limit_count_must_match_queues() {
+        StaticThreshold::new(QueueConfig::uniform(2, 1, 1.0), vec![100]);
+    }
+
+    #[test]
+    fn complete_sharing_admits_until_full() {
+        let bm = CompleteSharing::new(QueueConfig::uniform(2, 1, 1.0));
+        let mut state = BufferState::new(1_000, 2);
+        state.enqueue(0, 999).unwrap();
+        assert_eq!(bm.admit(1, 1, &state), Verdict::Accept);
+        state.enqueue(1, 1).unwrap();
+        assert_eq!(
+            bm.admit(1, 1, &state),
+            Verdict::Drop(DropReason::BufferFull)
+        );
+    }
+
+    #[test]
+    fn neither_is_preemptive() {
+        let mut s = StaticThreshold::fair_share(QueueConfig::uniform(1, 1, 1.0));
+        let mut c = CompleteSharing::new(QueueConfig::uniform(1, 1, 1.0));
+        let mut state = BufferState::new(100, 1);
+        state.enqueue(0, 100).unwrap();
+        assert_eq!(s.select_victim(&state), None);
+        assert_eq!(c.select_victim(&state), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Redundant-memory-bandwidth accounting (paper §5.3, expulsion module).
+
+/// A token bucket with a *signed* balance modeling memory bandwidth.
+///
+/// Tokens are generated at the switch's aggregate forwarding capacity (one
+/// token per cell time in the paper's DPDK prototype). Two consumers draw
+/// from it:
+///
+/// - the TX path calls [`TokenBucket::force_take`] — line-rate forwarding
+///   must never block, so the balance may go **negative**;
+/// - the expulsion path calls [`TokenBucket::try_take`], which only
+///   succeeds when the full amount is available.
+///
+/// The net effect is exactly the paper's invariant: head drops consume
+/// only the memory bandwidth left over by normal forwarding. When every
+/// port runs at line rate the balance hovers at or below zero and Occamy
+/// degenerates to DT (§4.5, "what if there is no redundant bandwidth").
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    tokens_per_ns: f64,
+    cap: f64,
+    balance: f64,
+    last_ns: u64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket producing `rate_per_sec` tokens per second, with
+    /// accumulation capped at `cap` tokens, starting empty at time 0.
+    pub fn new(rate_per_sec: f64, cap: f64) -> Self {
+        TokenBucket {
+            tokens_per_ns: rate_per_sec / 1e9,
+            cap,
+            balance: 0.0,
+            last_ns: 0,
+        }
+    }
+
+    /// Advances the refill clock to `now_ns`.
+    pub fn advance(&mut self, now_ns: u64) {
+        if now_ns > self.last_ns {
+            let dt = (now_ns - self.last_ns) as f64;
+            self.balance = (self.balance + dt * self.tokens_per_ns).min(self.cap);
+            self.last_ns = now_ns;
+        }
+    }
+
+    /// Tokens available at `now_ns` (without mutating).
+    pub fn available(&self, now_ns: u64) -> f64 {
+        let dt = now_ns.saturating_sub(self.last_ns) as f64;
+        (self.balance + dt * self.tokens_per_ns).min(self.cap)
+    }
+
+    /// Takes `n` tokens if (and only if) the full amount is available.
+    ///
+    /// This is the expulsion path: it may only use redundant bandwidth.
+    pub fn try_take(&mut self, n: f64, now_ns: u64) -> bool {
+        self.advance(now_ns);
+        if self.balance >= n {
+            self.balance -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes `n` tokens unconditionally; the balance may go negative,
+    /// but no deeper than `−cap`.
+    ///
+    /// This is the TX path: forwarding has absolute priority over
+    /// expulsion, mirroring the fixed-priority arbiter of §4.3. The
+    /// overdraft is bounded because memory cycles are use-it-or-lose-it:
+    /// a long stretch of transmission at full rate cannot put the
+    /// expulsion path arbitrarily far into debt — it merely keeps it
+    /// starved while the stretch lasts (§4.5).
+    pub fn force_take(&mut self, n: f64, now_ns: u64) {
+        self.advance(now_ns);
+        self.balance = (self.balance - n).max(-self.cap);
+    }
+
+    /// Nanoseconds from `now_ns` until `n` tokens could be taken, or
+    /// `None` if the request can never be satisfied (`n` exceeds the
+    /// bucket capacity, or the generation rate is zero).
+    pub fn time_until(&self, n: f64, now_ns: u64) -> Option<u64> {
+        if n > self.cap {
+            return None;
+        }
+        let avail = self.available(now_ns);
+        if avail >= n {
+            return Some(0);
+        }
+        if self.tokens_per_ns <= 0.0 {
+            return None; // a drained zero-rate bucket never refills
+        }
+        let deficit = n - avail;
+        Some((deficit / self.tokens_per_ns).ceil() as u64)
+    }
+
+    /// Current signed balance (diagnostics).
+    pub fn balance(&self) -> f64 {
+        self.balance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_refills_linearly() {
+        let tb = TokenBucket::new(1e9, 100.0); // 1 token/ns
+        assert_eq!(tb.available(0), 0.0);
+        assert!((tb.available(50) - 50.0).abs() < 1e-9);
+        assert!((tb.available(1_000) - 100.0).abs() < 1e-9); // capped
+    }
+
+    #[test]
+    fn try_take_requires_full_amount() {
+        let mut tb = TokenBucket::new(1e9, 100.0);
+        assert!(!tb.try_take(10.0, 5)); // only 5 available
+        assert!(tb.try_take(10.0, 10));
+        assert!((tb.balance() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn force_take_goes_negative() {
+        let mut tb = TokenBucket::new(1e9, 100.0);
+        tb.force_take(30.0, 10); // 10 available − 30 = −20
+        assert!((tb.balance() + 20.0).abs() < 1e-9);
+        // Expulsion must now wait for the deficit plus its own need.
+        assert!(!tb.try_take(1.0, 10));
+        assert_eq!(tb.time_until(1.0, 10), Some(21));
+        assert!(tb.try_take(1.0, 31));
+    }
+
+    #[test]
+    fn time_until_unsatisfiable_when_over_cap() {
+        let tb = TokenBucket::new(1e9, 100.0);
+        assert_eq!(tb.time_until(101.0, 0), None);
+        assert_eq!(tb.time_until(100.0, 1_000), Some(0));
+    }
+
+    #[test]
+    fn saturated_tx_starves_expulsion() {
+        // TX consumes exactly the generation rate: expulsion never fires.
+        let mut tb = TokenBucket::new(1e9, 1_000.0);
+        let mut now = 0;
+        let mut expelled = 0;
+        for _ in 0..1_000 {
+            now += 10;
+            tb.force_take(10.0, now); // 10 tokens per 10 ns = line rate
+            if tb.try_take(5.0, now) {
+                expelled += 1;
+            }
+        }
+        assert_eq!(expelled, 0, "no redundant bandwidth must mean no drops");
+    }
+
+    #[test]
+    fn half_loaded_tx_leaves_bandwidth_for_expulsion() {
+        let mut tb = TokenBucket::new(1e9, 1_000.0);
+        let mut now = 0;
+        let mut expelled = 0u64;
+        for _ in 0..1_000 {
+            now += 10;
+            tb.force_take(5.0, now); // 50% load
+            while tb.try_take(5.0, now) {
+                expelled += 1;
+            }
+        }
+        // ~50% of the bandwidth should be available: ~1000 * 5 / 5 drops.
+        assert!(
+            (900..=1_100).contains(&expelled),
+            "expected ~1000 expulsions, got {expelled}"
+        );
+    }
+
+    #[test]
+    fn overdraft_is_bounded_by_cap() {
+        // A long stretch of line-rate TX must not bury the expulsion path
+        // in unbounded debt: once the stretch ends, recovery takes at
+        // most ~2·cap worth of refill time.
+        let mut tb = TokenBucket::new(1e9, 100.0); // 1 token/ns
+        let mut now = 0;
+        for _ in 0..10_000 {
+            now += 10;
+            tb.force_take(20.0, now); // 2× the generation rate
+        }
+        assert!(tb.balance() >= -100.0 - 1e-9, "debt exceeded the cap");
+        // 200 ns refills the 100-token debt plus 100 tokens of budget.
+        assert!(tb.try_take(100.0, now + 200));
+    }
+
+    #[test]
+    fn cap_bounds_burst_of_expulsions() {
+        let mut tb = TokenBucket::new(1e9, 50.0);
+        // Long idle: balance capped at 50, not 10 000.
+        assert!(tb.try_take(50.0, 10_000));
+        assert!(!tb.try_take(1.0, 10_000));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the buffer-management core.
+
+use occamy_core::{
+    BmKind, BufferManager, BufferState, DynamicThreshold, Occamy, QueueBitmap, QueueConfig,
+    RoundRobinCursor, TokenBucket, Verdict,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Buffer accounting never loses or invents bytes under arbitrary
+    /// interleavings of enqueues and dequeues.
+    #[test]
+    fn buffer_state_conserves_bytes(
+        ops in prop::collection::vec((0usize..4, 1u64..5_000, prop::bool::ANY), 1..200)
+    ) {
+        let mut state = BufferState::new(100_000, 4);
+        let mut shadow = [0u64; 4];
+        for (q, len, is_enq) in ops {
+            if is_enq {
+                if state.enqueue(q, len).is_ok() {
+                    shadow[q] += len;
+                }
+            } else if state.dequeue(q, len).is_ok() {
+                shadow[q] -= len;
+            }
+            prop_assert_eq!(state.total(), shadow.iter().sum::<u64>());
+            for (i, &s) in shadow.iter().enumerate() {
+                prop_assert_eq!(state.queue_len(i), s);
+            }
+            prop_assert!(state.total() <= state.capacity());
+        }
+    }
+
+    /// DT's threshold is exactly α·free (capped), hence monotone
+    /// decreasing in total occupancy.
+    #[test]
+    fn dt_threshold_monotone_in_occupancy(
+        alpha in 0.1f64..16.0,
+        fills in prop::collection::vec(1u64..2_000, 1..50)
+    ) {
+        let dt = DynamicThreshold::new(QueueConfig::uniform(2, 1_000, alpha));
+        let mut state = BufferState::new(200_000, 2);
+        let mut prev = dt.threshold(0, &state);
+        for f in fills {
+            if state.enqueue(1, f).is_err() {
+                break;
+            }
+            let t = dt.threshold(0, &state);
+            prop_assert!(t <= prev, "threshold rose as buffer filled");
+            prev = t;
+        }
+    }
+
+    /// A packet admitted by DT always physically fits (no overflow), for
+    /// any α: admission implies free space.
+    #[test]
+    fn dt_admission_implies_space(
+        alpha in 0.1f64..64.0,
+        ops in prop::collection::vec((0usize..3, 40u64..3_000), 1..300)
+    ) {
+        let dt = DynamicThreshold::new(QueueConfig::uniform(3, 1_000, alpha));
+        let mut state = BufferState::new(50_000, 3);
+        for (q, len) in ops {
+            if dt.admit(q, len, &state) == Verdict::Accept {
+                prop_assert!(state.enqueue(q, len).is_ok(), "admitted but no room");
+            }
+        }
+    }
+
+    /// Occamy never selects a victim that is under its own threshold,
+    /// and always selects one when some queue exceeds it.
+    #[test]
+    fn occamy_victims_are_exactly_over_allocated(
+        alpha in 0.25f64..8.0,
+        lens in prop::collection::vec(0u64..40_000, 4)
+    ) {
+        let mut occamy = Occamy::new(QueueConfig::uniform(4, 1_000, alpha));
+        let mut state = BufferState::new(100_000, 4);
+        for (q, &len) in lens.iter().enumerate() {
+            if len > 0 && state.enqueue(q, len).is_err() {
+                // Skip configurations that would overflow the buffer.
+                return Ok(());
+            }
+        }
+        let any_over = (0..4).any(|q| state.queue_len(q) > occamy.threshold(q, &state));
+        match occamy.select_victim(&state) {
+            Some(v) => {
+                prop_assert!(state.queue_len(v) > occamy.threshold(v, &state));
+            }
+            None => prop_assert!(!any_over, "missed an over-allocated queue"),
+        }
+    }
+
+    /// Round-robin grants rotate: with a fixed bitmap, consecutive grants
+    /// cycle through every set bit before repeating any.
+    #[test]
+    fn round_robin_cycles_all_set_bits(bits in prop::collection::vec(prop::bool::ANY, 1..128)) {
+        let mut bm = QueueBitmap::new(bits.len());
+        let set: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        for &i in &set {
+            bm.set(i, true);
+        }
+        let mut cursor = RoundRobinCursor::new();
+        if set.is_empty() {
+            prop_assert_eq!(cursor.grant(&bm), None);
+        } else {
+            let mut seen = Vec::new();
+            for _ in 0..set.len() {
+                seen.push(cursor.grant(&bm).unwrap());
+            }
+            seen.sort_unstable();
+            prop_assert_eq!(&seen, &set, "one full rotation must visit each set bit once");
+        }
+    }
+
+    /// Bitmap `next_set_wrapping` agrees with a straightforward scan.
+    #[test]
+    fn bitmap_wrapping_scan_matches_reference(
+        bits in prop::collection::vec(prop::bool::ANY, 1..200),
+        start in 0usize..200,
+    ) {
+        let mut bm = QueueBitmap::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            bm.set(i, b);
+        }
+        let n = bits.len();
+        let start = start % n;
+        let reference = (0..n)
+            .map(|k| (start + k) % n)
+            .find(|&i| bits[i]);
+        prop_assert_eq!(bm.next_set_wrapping(start), reference);
+    }
+
+    /// The token bucket never exceeds its cap, and `try_take` never
+    /// succeeds beyond the refilled budget.
+    #[test]
+    fn token_bucket_respects_budget(
+        rate in 1.0f64..1e3, // tokens per second
+        cap in 1.0f64..100.0,
+        ops in prop::collection::vec((1u64..1_000_000u64, 0.1f64..50.0, prop::bool::ANY), 1..100)
+    ) {
+        let mut tb = TokenBucket::new(rate, cap);
+        let mut now = 0u64;
+        let mut taken = 0.0f64;
+        let mut forced = 0.0f64;
+        for (dt, amount, force) in ops {
+            now += dt;
+            if force {
+                tb.force_take(amount, now);
+                forced += amount;
+            } else if tb.try_take(amount, now) {
+                taken += amount;
+            }
+            prop_assert!(tb.balance() <= cap + 1e-9);
+            // Everything taken must be covered by generation + overdraft.
+            let generated = rate * now as f64 / 1e9 + 1e-6;
+            prop_assert!(
+                taken <= generated + 1e-6,
+                "try_take overdrew: {} > {}", taken, generated
+            );
+            let _ = forced;
+        }
+    }
+
+    /// Every scheme's threshold is bounded by the capacity, and admission
+    /// of a zero-length packet into an empty buffer succeeds.
+    #[test]
+    fn schemes_behave_on_edges(kind_idx in 0usize..7, cap in 1_000u64..1_000_000) {
+        let kinds = [
+            BmKind::Dt,
+            BmKind::Occamy,
+            BmKind::OccamyLongest,
+            BmKind::Abm,
+            BmKind::Pushout,
+            BmKind::Static,
+            BmKind::CompleteSharing,
+        ];
+        let bm = kinds[kind_idx].build(QueueConfig::uniform(4, 1_000, 1.0));
+        let state = BufferState::new(cap, 4);
+        for q in 0..4 {
+            prop_assert!(bm.threshold(q, &state) <= cap);
+            prop_assert_eq!(bm.admit(q, 0, &state), Verdict::Accept);
+        }
+    }
+}

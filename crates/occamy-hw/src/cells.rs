@@ -1,0 +1,249 @@
+//! Cell-pointer memory with a free-cell linked list (paper Fig. 2, middle).
+
+/// Cell size in bytes.
+///
+/// The paper assumes 200 B cells in both its historical analysis (§2.2)
+/// and the DPDK prototype's token accounting (§5.3).
+pub const CELL_SIZE: u64 = 200;
+
+/// Index into the cell-pointer memory (one entry per cell).
+pub type CellPtr = u32;
+
+/// Sentinel for "no next cell".
+const NIL: u32 = u32::MAX;
+
+/// The cell-pointer memory of Fig. 2.
+///
+/// Each entry holds the pointer to the *next* cell of the same packet (a
+/// cell-pointer list); free cells are themselves chained through the same
+/// memory as the *free cell pointer list*. Allocation pops from the free
+/// list, deallocation pushes back — exactly the operations a head drop
+/// performs without ever touching the cell **data** memory.
+///
+/// For verification, every cell also records the packet it belongs to;
+/// [`CellPointerMemory::check_conservation`] proves no cell is leaked or
+/// double-owned.
+#[derive(Debug, Clone)]
+pub struct CellPointerMemory {
+    /// `next[c]` chains both packet cell lists and the free list.
+    next: Vec<u32>,
+    /// Owning packet id per cell (`None` when free). Verification only.
+    owner: Vec<Option<u64>>,
+    free_head: u32,
+    free_count: usize,
+}
+
+impl CellPointerMemory {
+    /// Creates a memory of `total_cells` cells, all free.
+    pub fn new(total_cells: usize) -> Self {
+        assert!(total_cells > 0, "cell memory cannot be empty");
+        assert!((total_cells as u64) < NIL as u64, "too many cells");
+        // Chain every cell into the free list: 0 → 1 → … → n−1 → NIL.
+        let mut next: Vec<u32> = (1..=total_cells as u32).collect();
+        next[total_cells - 1] = NIL;
+        CellPointerMemory {
+            next,
+            owner: vec![None; total_cells],
+            free_head: 0,
+            free_count: total_cells,
+        }
+    }
+
+    /// Total number of cells.
+    pub fn total_cells(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Number of free cells.
+    pub fn free_cells(&self) -> usize {
+        self.free_count
+    }
+
+    /// Number of cells needed for a packet of `len` bytes.
+    pub fn cells_for(len: u64) -> u32 {
+        (len.div_ceil(CELL_SIZE)).max(1) as u32
+    }
+
+    /// Allocates a chain of `n` cells for packet `pkt_id`.
+    ///
+    /// Returns the head of the chain, or `None` if fewer than `n` cells
+    /// are free (the BM admission check should prevent this).
+    pub fn alloc_chain(&mut self, n: u32, pkt_id: u64) -> Option<CellPtr> {
+        if (n as usize) > self.free_count || n == 0 {
+            return None;
+        }
+        let head = self.free_head;
+        let mut last = NIL;
+        let mut cur = self.free_head;
+        for _ in 0..n {
+            debug_assert_ne!(cur, NIL, "free list shorter than free_count");
+            self.owner[cur as usize] = Some(pkt_id);
+            last = cur;
+            cur = self.next[cur as usize];
+        }
+        self.free_head = cur;
+        self.free_count -= n as usize;
+        // Terminate the packet's chain.
+        self.next[last as usize] = NIL;
+        Some(head)
+    }
+
+    /// Returns a packet's cell chain to the free list.
+    ///
+    /// `head` must be the value returned by [`CellPointerMemory::alloc_chain`]
+    /// for a packet that has not been freed yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on double-free or foreign pointers, which
+    /// indicate substrate bugs.
+    pub fn free_chain(&mut self, head: CellPtr, pkt_id: u64) -> u32 {
+        let mut cur = head;
+        let mut freed = 0u32;
+        let mut last = NIL;
+        while cur != NIL {
+            debug_assert_eq!(
+                self.owner[cur as usize],
+                Some(pkt_id),
+                "cell {cur} not owned by packet {pkt_id}"
+            );
+            self.owner[cur as usize] = None;
+            last = cur;
+            freed += 1;
+            cur = self.next[cur as usize];
+        }
+        // Splice the whole chain onto the free list head.
+        if freed > 0 {
+            self.next[last as usize] = self.free_head;
+            self.free_head = head;
+            self.free_count += freed as usize;
+        }
+        freed
+    }
+
+    /// Walks a packet's chain, returning its cell count (verification).
+    pub fn chain_len(&self, head: CellPtr) -> u32 {
+        let mut cur = head;
+        let mut n = 0;
+        while cur != NIL {
+            n += 1;
+            cur = self.next[cur as usize];
+        }
+        n
+    }
+
+    /// Verifies cell conservation: every cell is either on the free list
+    /// or owned by exactly one packet, and the free list length matches
+    /// `free_cells()`.
+    pub fn check_conservation(&self) -> bool {
+        let mut on_free = vec![false; self.next.len()];
+        let mut cur = self.free_head;
+        let mut count = 0usize;
+        while cur != NIL {
+            if on_free[cur as usize] {
+                return false; // cycle in free list
+            }
+            on_free[cur as usize] = true;
+            count += 1;
+            if count > self.next.len() {
+                return false;
+            }
+            cur = self.next[cur as usize];
+        }
+        if count != self.free_count {
+            return false;
+        }
+        self.owner
+            .iter()
+            .zip(on_free.iter())
+            .all(|(owner, free)| owner.is_some() != *free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_is_all_free() {
+        let m = CellPointerMemory::new(16);
+        assert_eq!(m.free_cells(), 16);
+        assert!(m.check_conservation());
+    }
+
+    #[test]
+    fn cells_for_rounds_up() {
+        assert_eq!(CellPointerMemory::cells_for(1), 1);
+        assert_eq!(CellPointerMemory::cells_for(200), 1);
+        assert_eq!(CellPointerMemory::cells_for(201), 2);
+        assert_eq!(CellPointerMemory::cells_for(1_500), 8);
+        assert_eq!(CellPointerMemory::cells_for(0), 1); // even empty frames occupy a cell
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = CellPointerMemory::new(8);
+        let h = m.alloc_chain(3, 42).unwrap();
+        assert_eq!(m.free_cells(), 5);
+        assert_eq!(m.chain_len(h), 3);
+        assert!(m.check_conservation());
+        assert_eq!(m.free_chain(h, 42), 3);
+        assert_eq!(m.free_cells(), 8);
+        assert!(m.check_conservation());
+    }
+
+    #[test]
+    fn alloc_fails_when_insufficient() {
+        let mut m = CellPointerMemory::new(4);
+        assert!(m.alloc_chain(5, 1).is_none());
+        let _a = m.alloc_chain(3, 1).unwrap();
+        assert!(m.alloc_chain(2, 2).is_none());
+        assert!(m.alloc_chain(1, 2).is_some());
+        assert_eq!(m.free_cells(), 0);
+    }
+
+    #[test]
+    fn zero_cell_alloc_is_rejected() {
+        let mut m = CellPointerMemory::new(4);
+        assert!(m.alloc_chain(0, 1).is_none());
+    }
+
+    #[test]
+    fn interleaved_packets_keep_conservation() {
+        let mut m = CellPointerMemory::new(32);
+        let a = m.alloc_chain(5, 1).unwrap();
+        let b = m.alloc_chain(7, 2).unwrap();
+        let c = m.alloc_chain(3, 3).unwrap();
+        assert!(m.check_conservation());
+        m.free_chain(b, 2);
+        assert!(m.check_conservation());
+        let d = m.alloc_chain(9, 4).unwrap();
+        assert!(m.check_conservation());
+        m.free_chain(a, 1);
+        m.free_chain(c, 3);
+        m.free_chain(d, 4);
+        assert_eq!(m.free_cells(), 32);
+        assert!(m.check_conservation());
+    }
+
+    #[test]
+    fn chains_are_disjoint() {
+        let mut m = CellPointerMemory::new(16);
+        let a = m.alloc_chain(4, 1).unwrap();
+        let b = m.alloc_chain(4, 2).unwrap();
+        // Walk both chains and ensure no shared cells.
+        let collect = |m: &CellPointerMemory, mut cur: u32| {
+            let mut v = vec![];
+            while cur != NIL {
+                v.push(cur);
+                cur = m.next[cur as usize];
+            }
+            v
+        };
+        let ca = collect(&m, a);
+        let cb = collect(&m, b);
+        assert_eq!(ca.len(), 4);
+        assert_eq!(cb.len(), 4);
+        assert!(ca.iter().all(|x| !cb.contains(x)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Cell-level traffic-manager model and hardware circuits for Occamy.
+//!
+//! This crate models the parts of a shared-memory switch chip that the
+//! paper's hardware discussion covers:
+//!
+//! - [`CellPointerMemory`], [`PdMemory`], [`PdQueue`] — the three-memory
+//!   buffer structure of Fig. 2 (cell data, cell pointers with a free
+//!   list, packet descriptors organized as per-queue linked lists);
+//! - [`TrafficManager`] — enqueue/dequeue/head-drop on top of those
+//!   memories with per-memory access accounting, demonstrating that a head
+//!   drop never touches the cell *data* memory (§3.2, reason 2);
+//! - [`DequeuePipeline`] — the 5-operation dequeue pipeline of Fig. 10,
+//!   its head-drop recomposition, and the interruption semantics of §4.5;
+//! - [`HeadDropSelector`], [`RoundRobinArbiter`], [`FixedPriorityArbiter`]
+//!   — the circuits of Fig. 9;
+//! - [`MaxFinder`] — the binary comparator tree of Fig. 4 that makes
+//!   Pushout expensive (Difficulty 3);
+//! - [`cost`] — an analytic gate-level cost model calibrated against the
+//!   paper's Table 1 (Vivado + FreePDK45 numbers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+mod cells;
+pub mod cost;
+mod maxfinder;
+mod pd;
+mod pipeline;
+mod selector;
+mod tm;
+
+pub use arbiter::{FixedPriorityArbiter, Requester, RoundRobinArbiter};
+pub use cells::{CellPointerMemory, CellPtr, CELL_SIZE};
+pub use maxfinder::MaxFinder;
+pub use pd::{PacketDescriptor, PdMemory, PdPtr, PdQueue};
+pub use pipeline::{DequeuePipeline, InterruptOutcome, PipelineCost};
+pub use selector::HeadDropSelector;
+pub use tm::{EnqueueOutcome, MemoryAccessStats, TmStats, TrafficManager};

@@ -1,0 +1,181 @@
+//! Maximum Finder — the binary comparator tree of paper Fig. 4.
+//!
+//! Pushout must know the longest queue at all times. The canonical circuit
+//! is a tree of compare-and-multiplex nodes: `⌈log₂N⌉` levels, `N − 1`
+//! nodes. The paper's Difficulty 3 argument is that its *latency*
+//! (`O(log₂k · log₂N)` gate delays) cannot keep up with per-cycle queue
+//! length changes on a multi-hundred-queue chip, while its area is merely
+//! large. This module implements the tree faithfully (level by level, the
+//! way the circuit evaluates) and exposes the area/delay model used by
+//! [`crate::cost`].
+
+/// A binary comparator-tree maximum finder.
+#[derive(Debug, Clone)]
+pub struct MaxFinder {
+    n_inputs: usize,
+    bit_width: u32,
+}
+
+impl MaxFinder {
+    /// Creates a finder for `n_inputs` values of `bit_width` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_inputs == 0` or `bit_width == 0` or `bit_width > 64`.
+    pub fn new(n_inputs: usize, bit_width: u32) -> Self {
+        assert!(n_inputs > 0, "need at least one input");
+        assert!((1..=64).contains(&bit_width), "bit width must be 1..=64");
+        MaxFinder {
+            n_inputs,
+            bit_width,
+        }
+    }
+
+    /// Number of inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Compared value width in bits.
+    pub fn bit_width(&self) -> u32 {
+        self.bit_width
+    }
+
+    /// Number of comparator levels: `⌈log₂N⌉`.
+    pub fn levels(&self) -> u32 {
+        (self.n_inputs.max(1) as u64)
+            .next_power_of_two()
+            .trailing_zeros()
+    }
+
+    /// Number of CMP&MUX nodes: `N − 1` for a full tree.
+    pub fn comparator_count(&self) -> usize {
+        self.n_inputs.saturating_sub(1)
+    }
+
+    /// Combinational delay of one CMP&MUX node in picoseconds.
+    ///
+    /// A k-bit comparator is itself a tree of depth `⌈log₂k⌉`; we charge
+    /// `GATE_DELAY_PS` per gate level plus a mux level. The constant is a
+    /// typical *loaded* 45 nm standard-cell delay (wire + fan-out
+    /// included), chosen on the same scale as the calibrated selector
+    /// timing in [`crate::cost`] so the two circuits are comparable.
+    pub fn node_delay_ps(&self) -> u64 {
+        const GATE_DELAY_PS: u64 = 70;
+        let cmp_levels = 32 - (self.bit_width.max(1) - 1).leading_zeros().min(31);
+        (cmp_levels as u64 + 1) * GATE_DELAY_PS
+    }
+
+    /// End-to-end combinational delay in picoseconds:
+    /// `O(log₂k · log₂N)` (paper §2.2, Difficulty 3).
+    pub fn delay_ps(&self) -> u64 {
+        self.levels() as u64 * self.node_delay_ps()
+    }
+
+    /// Whether the finder meets a clock of `period_ps` (single-cycle).
+    ///
+    /// The paper's argument: queue lengths change every cycle, so the
+    /// maximum must resolve within one cycle — which fails for large `N`.
+    pub fn meets_cycle(&self, period_ps: u64) -> bool {
+        self.delay_ps() <= period_ps
+    }
+
+    /// Evaluates the tree level by level, as the hardware does.
+    ///
+    /// Returns `(index, value)` of the maximum; ties resolve to the lower
+    /// index (the `a > b` mux select of Fig. 4 keeps the left operand on
+    /// ties). Returns `None` for an empty input slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n_inputs`.
+    pub fn find(&self, values: &[u64]) -> Option<(usize, u64)> {
+        assert_eq!(values.len(), self.n_inputs, "input width mismatch");
+        if values.is_empty() {
+            return None;
+        }
+        // Level 0: each input is a (index, value) candidate.
+        let mut level: Vec<(usize, u64)> = values.iter().copied().enumerate().collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                match *pair {
+                    [a, b] => next.push(if b.1 > a.1 { b } else { a }),
+                    [a] => next.push(a),
+                    _ => unreachable!("chunks(2) yields 1–2 items"),
+                }
+            }
+            level = next;
+        }
+        Some(level[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_maximum_and_index() {
+        let mf = MaxFinder::new(8, 16);
+        let vals = [3u64, 9, 2, 9, 1, 0, 8, 4];
+        // Two 9s: tie resolves to the lower index (1).
+        assert_eq!(mf.find(&vals), Some((1, 9)));
+    }
+
+    #[test]
+    fn single_input_is_its_own_max() {
+        let mf = MaxFinder::new(1, 8);
+        assert_eq!(mf.find(&[42]), Some((0, 42)));
+        assert_eq!(mf.levels(), 0);
+        assert_eq!(mf.comparator_count(), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_inputs() {
+        let mf = MaxFinder::new(5, 8);
+        assert_eq!(mf.find(&[1, 2, 3, 4, 5]), Some((4, 5)));
+        assert_eq!(mf.find(&[5, 4, 3, 2, 1]), Some((0, 5)));
+        assert_eq!(mf.levels(), 3);
+    }
+
+    #[test]
+    fn matches_software_argmax_on_many_inputs() {
+        let mf = MaxFinder::new(64, 20);
+        let vals: Vec<u64> = (0..64).map(|i| (i * 2_654_435_761u64) % 100_000).collect();
+        let (idx, val) = mf.find(&vals).unwrap();
+        let exp = vals
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .unwrap();
+        assert_eq!((idx, val), exp);
+    }
+
+    #[test]
+    fn delay_grows_with_inputs_and_width() {
+        let small = MaxFinder::new(8, 8);
+        let wide = MaxFinder::new(8, 32);
+        let big = MaxFinder::new(512, 8);
+        assert!(wide.delay_ps() > small.delay_ps());
+        assert!(big.delay_ps() > small.delay_ps());
+    }
+
+    #[test]
+    fn large_trees_miss_a_1ghz_cycle() {
+        // The paper's point: at switch scale (hundreds of queues, ~20-bit
+        // lengths) the tree cannot resolve within a 1 GHz cycle.
+        let big = MaxFinder::new(512, 20);
+        assert!(!big.meets_cycle(1_000), "512-input tree should miss 1 ns");
+        let tiny = MaxFinder::new(4, 8);
+        assert!(tiny.meets_cycle(1_000), "4-input tree should meet 1 ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn input_width_is_checked() {
+        let mf = MaxFinder::new(4, 8);
+        let _ = mf.find(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Packet-descriptor memory and PD linked-list queues (paper Fig. 2, top).
+
+use crate::CellPtr;
+
+/// Index into the PD memory.
+pub type PdPtr = u32;
+
+/// Sentinel for "no next PD".
+const NIL: u32 = u32::MAX;
+
+/// A packet descriptor: metadata plus the head of the cell-pointer list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketDescriptor {
+    /// Substrate-assigned packet identity.
+    pub pkt_id: u64,
+    /// Wire length in bytes.
+    pub len_bytes: u32,
+    /// Head of this packet's cell chain.
+    pub cell_head: CellPtr,
+    /// Number of cells in the chain.
+    pub cell_count: u32,
+    /// Next PD in the queue (linked list).
+    next: u32,
+}
+
+/// Slab of packet descriptors with an internal free list.
+#[derive(Debug, Clone)]
+pub struct PdMemory {
+    slots: Vec<PacketDescriptor>,
+    /// Free slots, used LIFO.
+    free: Vec<PdPtr>,
+    in_use: usize,
+}
+
+impl PdMemory {
+    /// Creates a PD memory with `capacity` descriptors.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "PD memory cannot be empty");
+        let blank = PacketDescriptor {
+            pkt_id: 0,
+            len_bytes: 0,
+            cell_head: 0,
+            cell_count: 0,
+            next: NIL,
+        };
+        PdMemory {
+            slots: vec![blank; capacity],
+            free: (0..capacity as u32).rev().collect(),
+            in_use: 0,
+        }
+    }
+
+    /// Number of descriptors currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Total descriptor slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Allocates a descriptor; `None` when the PD memory is exhausted.
+    pub fn alloc(
+        &mut self,
+        pkt_id: u64,
+        len_bytes: u32,
+        cell_head: CellPtr,
+        cell_count: u32,
+    ) -> Option<PdPtr> {
+        let slot = self.free.pop()?;
+        self.slots[slot as usize] = PacketDescriptor {
+            pkt_id,
+            len_bytes,
+            cell_head,
+            cell_count,
+            next: NIL,
+        };
+        self.in_use += 1;
+        Some(slot)
+    }
+
+    /// Frees a descriptor.
+    pub fn free(&mut self, pd: PdPtr) {
+        debug_assert!(!self.free.contains(&pd), "double free of PD {pd}");
+        self.free.push(pd);
+        self.in_use -= 1;
+    }
+
+    /// Reads a descriptor (the "Read PD" pipeline operation).
+    pub fn read(&self, pd: PdPtr) -> &PacketDescriptor {
+        &self.slots[pd as usize]
+    }
+
+    fn set_next(&mut self, pd: PdPtr, next: u32) {
+        self.slots[pd as usize].next = next;
+    }
+}
+
+/// A queue organized as a linked list of PDs (Fig. 2).
+///
+/// Byte and packet counts are maintained redundantly so the traffic
+/// manager can check them against the shared [`occamy_core::BufferState`].
+#[derive(Debug, Clone)]
+pub struct PdQueue {
+    head: u32,
+    tail: u32,
+    pkts: usize,
+    bytes: u64,
+    cells: u64,
+}
+
+impl Default for PdQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PdQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PdQueue {
+            head: NIL,
+            tail: NIL,
+            pkts: 0,
+            bytes: 0,
+            cells: 0,
+        }
+    }
+
+    /// Number of packets queued.
+    pub fn len_pkts(&self) -> usize {
+        self.pkts
+    }
+
+    /// Number of bytes queued (wire bytes, not cell-rounded).
+    pub fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of cells held by queued packets.
+    pub fn len_cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pkts == 0
+    }
+
+    /// PD at the head (next to dequeue or head-drop), if any.
+    pub fn head(&self) -> Option<PdPtr> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(self.head)
+        }
+    }
+
+    /// Appends a PD at the tail (the "enqueue PD" operation).
+    pub fn push_back(&mut self, pd: PdPtr, mem: &mut PdMemory) {
+        mem.set_next(pd, NIL);
+        if self.tail == NIL {
+            self.head = pd;
+        } else {
+            mem.set_next(self.tail, pd);
+        }
+        self.tail = pd;
+        let d = mem.read(pd);
+        self.pkts += 1;
+        self.bytes += d.len_bytes as u64;
+        self.cells += d.cell_count as u64;
+    }
+
+    /// Removes and returns the head PD (the "Dequeue PD" operation —
+    /// shared by normal dequeue and head drop).
+    pub fn pop_front(&mut self, mem: &mut PdMemory) -> Option<PdPtr> {
+        if self.head == NIL {
+            return None;
+        }
+        let pd = self.head;
+        let d = *mem.read(pd);
+        self.head = d.next;
+        if self.head == NIL {
+            self.tail = NIL;
+        }
+        self.pkts -= 1;
+        self.bytes -= d.len_bytes as u64;
+        self.cells -= d.cell_count as u64;
+        Some(pd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut mem = PdMemory::new(4);
+        let a = mem.alloc(1, 100, 0, 1).unwrap();
+        let b = mem.alloc(2, 200, 1, 1).unwrap();
+        assert_eq!(mem.in_use(), 2);
+        assert_eq!(mem.read(a).pkt_id, 1);
+        assert_eq!(mem.read(b).len_bytes, 200);
+        mem.free(a);
+        assert_eq!(mem.in_use(), 1);
+        // Freed slot is reusable.
+        let c = mem.alloc(3, 300, 2, 2).unwrap();
+        assert_eq!(mem.read(c).pkt_id, 3);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut mem = PdMemory::new(2);
+        assert!(mem.alloc(1, 1, 0, 1).is_some());
+        assert!(mem.alloc(2, 1, 0, 1).is_some());
+        assert!(mem.alloc(3, 1, 0, 1).is_none());
+    }
+
+    #[test]
+    fn queue_is_fifo() {
+        let mut mem = PdMemory::new(8);
+        let mut q = PdQueue::new();
+        for id in 0..5u64 {
+            let pd = mem.alloc(id, 100, 0, 1).unwrap();
+            q.push_back(pd, &mut mem);
+        }
+        assert_eq!(q.len_pkts(), 5);
+        assert_eq!(q.len_bytes(), 500);
+        for id in 0..5u64 {
+            let pd = q.pop_front(&mut mem).unwrap();
+            assert_eq!(mem.read(pd).pkt_id, id, "FIFO order violated");
+            mem.free(pd);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.len_bytes(), 0);
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let mut mem = PdMemory::new(2);
+        let mut q = PdQueue::new();
+        assert!(q.pop_front(&mut mem).is_none());
+    }
+
+    #[test]
+    fn head_peek_matches_pop() {
+        let mut mem = PdMemory::new(4);
+        let mut q = PdQueue::new();
+        let a = mem.alloc(7, 64, 0, 1).unwrap();
+        q.push_back(a, &mut mem);
+        assert_eq!(q.head(), Some(a));
+        assert_eq!(q.pop_front(&mut mem), Some(a));
+        assert_eq!(q.head(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_counts() {
+        let mut mem = PdMemory::new(16);
+        let mut q = PdQueue::new();
+        let mut expected_bytes = 0u64;
+        let mut next_id = 0u64;
+        for round in 0..10 {
+            for _ in 0..=round % 3 {
+                let len = 60 + round * 10;
+                let pd = mem.alloc(next_id, len, 0, 1).unwrap();
+                next_id += 1;
+                q.push_back(pd, &mut mem);
+                expected_bytes += len as u64;
+            }
+            if round % 2 == 1 {
+                if let Some(pd) = q.pop_front(&mut mem) {
+                    expected_bytes -= mem.read(pd).len_bytes as u64;
+                    mem.free(pd);
+                }
+            }
+            assert_eq!(q.len_bytes(), expected_bytes);
+        }
+    }
+
+    #[test]
+    fn single_element_queue_resets_tail() {
+        let mut mem = PdMemory::new(4);
+        let mut q = PdQueue::new();
+        let a = mem.alloc(1, 10, 0, 1).unwrap();
+        q.push_back(a, &mut mem);
+        q.pop_front(&mut mem).unwrap();
+        mem.free(a);
+        // Pushing after draining must not chain onto a stale tail.
+        let b = mem.alloc(2, 20, 0, 1).unwrap();
+        q.push_back(b, &mut mem);
+        assert_eq!(q.head(), Some(b));
+        assert_eq!(q.len_pkts(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! The packet dequeue pipeline and its head-drop recomposition
+//! (paper Fig. 10 and §4.5).
+
+/// Per-memory access counts for one pipeline pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineCost {
+    /// Cycles occupied in the PD / cell-pointer pipeline.
+    pub cycles: u64,
+    /// PD memory accesses (read PD + dequeue PD).
+    pub pd_accesses: u64,
+    /// Cell-pointer memory accesses (read pointer + free cell per cell).
+    pub cell_ptr_accesses: u64,
+    /// Cell **data** memory reads — zero for head drops (§3.2, reason 2).
+    pub cell_data_reads: u64,
+}
+
+/// Result of interrupting an in-flight head drop (paper §4.5, point ②).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptOutcome {
+    /// Interrupted at the start of cycle 1 or 2: the PD linked list has
+    /// not been modified; the scheduler dequeues as if the head drop never
+    /// started.
+    QueueUntouched,
+    /// Interrupted at the start of cycle 3 or later: the PD has already
+    /// been removed from the queue; the scheduler observes the packet as
+    /// dequeued and proceeds to the next one.
+    PdAlreadyRemoved,
+}
+
+/// Model of the 5-operation dequeue pipeline of Fig. 10.
+///
+/// A dequeue performs: ① read PD, ② dequeue PD (advance the linked-list
+/// head), then per cell ③ read cell pointer, ④ free the cell, ⑤ read the
+/// cell data. The three memories are physically separate, so ③/④/⑤ for
+/// consecutive cells are pipelined one per cycle (per sub-list); a PD with
+/// `k` parallel cell-pointer sub-lists reads `k` pointers per cycle
+/// (§2.1). A **head drop** runs the same pipeline minus operation ⑤ —
+/// that is the entire hardware delta Occamy needs on the dequeue path.
+#[derive(Debug, Clone)]
+pub struct DequeuePipeline {
+    /// Number of parallel cell-pointer sub-lists per PD (≥ 1).
+    parallel_lists: u32,
+}
+
+impl DequeuePipeline {
+    /// Creates a pipeline with `parallel_lists` cell-pointer sub-lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallel_lists == 0`.
+    pub fn new(parallel_lists: u32) -> Self {
+        assert!(parallel_lists > 0, "need at least one cell-pointer list");
+        DequeuePipeline { parallel_lists }
+    }
+
+    /// Number of parallel cell-pointer sub-lists.
+    pub fn parallel_lists(&self) -> u32 {
+        self.parallel_lists
+    }
+
+    /// Cost of a normal dequeue of a `cell_count`-cell packet.
+    pub fn dequeue_cost(&self, cell_count: u32) -> PipelineCost {
+        self.cost(cell_count, true)
+    }
+
+    /// Cost of a head drop of a `cell_count`-cell packet.
+    ///
+    /// Identical to a dequeue except operation ⑤ (read cell data) is
+    /// skipped, so the cell **data** memory is never touched.
+    pub fn head_drop_cost(&self, cell_count: u32) -> PipelineCost {
+        self.cost(cell_count, false)
+    }
+
+    fn cost(&self, cell_count: u32, read_data: bool) -> PipelineCost {
+        let cell_count = cell_count.max(1);
+        // Cycle 1: read PD. Cycle 2: dequeue PD + first pointer batch.
+        // Each subsequent cycle retires one batch of `parallel_lists`
+        // pointers; free-cell and (for dequeues) data reads overlap in the
+        // separate memories one cycle behind.
+        let batches = cell_count.div_ceil(self.parallel_lists) as u64;
+        PipelineCost {
+            cycles: 2 + batches,
+            pd_accesses: 2,
+            cell_ptr_accesses: 2 * cell_count as u64, // read + free per cell
+            cell_data_reads: if read_data { cell_count as u64 } else { 0 },
+        }
+    }
+
+    /// Semantics of interrupting a head drop at the start of `cycle`
+    /// (1-based), per §4.5: the PD is removed from the queue at the end of
+    /// cycle 2, so interruptions split into "not yet started" and "appears
+    /// dequeued".
+    pub fn interrupt_head_drop(&self, cycle: u64) -> InterruptOutcome {
+        if cycle <= 2 {
+            InterruptOutcome::QueueUntouched
+        } else {
+            InterruptOutcome::PdAlreadyRemoved
+        }
+    }
+}
+
+impl Default for DequeuePipeline {
+    /// Four parallel sub-lists, the example in §3.2 (3).
+    fn default() -> Self {
+        DequeuePipeline::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_drop_never_reads_cell_data() {
+        let p = DequeuePipeline::default();
+        for cells in [1, 4, 8, 64] {
+            assert_eq!(p.head_drop_cost(cells).cell_data_reads, 0);
+            assert_eq!(p.dequeue_cost(cells).cell_data_reads, cells as u64);
+        }
+    }
+
+    #[test]
+    fn costs_match_fig10_shape() {
+        // Single-cell packet with one list: ① ② ③ ④ (⑤) = 3 cycles.
+        let p = DequeuePipeline::new(1);
+        let c = p.dequeue_cost(1);
+        assert_eq!(c.cycles, 3);
+        assert_eq!(c.pd_accesses, 2);
+        assert_eq!(c.cell_ptr_accesses, 2);
+    }
+
+    #[test]
+    fn parallel_lists_cut_pointer_cycles() {
+        let serial = DequeuePipeline::new(1);
+        let quad = DequeuePipeline::new(4);
+        // An 8-cell packet: 8 pointer cycles vs 2.
+        assert_eq!(serial.dequeue_cost(8).cycles, 10);
+        assert_eq!(quad.dequeue_cost(8).cycles, 4);
+        // Access counts are identical — parallelism is about cycles only.
+        assert_eq!(
+            serial.dequeue_cost(8).cell_ptr_accesses,
+            quad.dequeue_cost(8).cell_ptr_accesses
+        );
+    }
+
+    #[test]
+    fn zero_cell_packets_still_cost_a_cell() {
+        let p = DequeuePipeline::default();
+        assert_eq!(p.dequeue_cost(0).cycles, p.dequeue_cost(1).cycles);
+    }
+
+    #[test]
+    fn interrupt_semantics_split_at_cycle_two() {
+        let p = DequeuePipeline::default();
+        assert_eq!(p.interrupt_head_drop(1), InterruptOutcome::QueueUntouched);
+        assert_eq!(p.interrupt_head_drop(2), InterruptOutcome::QueueUntouched);
+        assert_eq!(p.interrupt_head_drop(3), InterruptOutcome::PdAlreadyRemoved);
+        assert_eq!(p.interrupt_head_drop(9), InterruptOutcome::PdAlreadyRemoved);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_lists_rejected() {
+        DequeuePipeline::new(0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the cell-level traffic manager and circuits.
+
+use occamy_core::{BmKind, QueueConfig};
+use occamy_hw::{CellPointerMemory, MaxFinder, TrafficManager, CELL_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Cell allocation/free conserves cells under arbitrary interleavings
+    /// and never aliases chains.
+    #[test]
+    fn cell_memory_conservation(
+        ops in prop::collection::vec((1u32..20, prop::bool::ANY), 1..200)
+    ) {
+        let mut mem = CellPointerMemory::new(256);
+        let mut live: Vec<(u32, u64, u32)> = Vec::new(); // (head, pkt, cells)
+        let mut next_pkt = 0u64;
+        for (cells, alloc) in ops {
+            if alloc {
+                if let Some(head) = mem.alloc_chain(cells, next_pkt) {
+                    live.push((head, next_pkt, cells));
+                    next_pkt += 1;
+                }
+            } else if let Some((head, pkt, cells)) = live.pop() {
+                prop_assert_eq!(mem.free_chain(head, pkt), cells);
+            }
+            let live_cells: u32 = live.iter().map(|&(_, _, c)| c).sum();
+            prop_assert_eq!(mem.free_cells(), 256 - live_cells as usize);
+            prop_assert!(mem.check_conservation());
+        }
+    }
+
+    /// Each allocated chain's walked length equals the requested count.
+    #[test]
+    fn chains_have_requested_length(sizes in prop::collection::vec(1u32..30, 1..12)) {
+        let mut mem = CellPointerMemory::new(512);
+        for (i, &n) in sizes.iter().enumerate() {
+            if let Some(head) = mem.alloc_chain(n, i as u64) {
+                prop_assert_eq!(mem.chain_len(head), n);
+            }
+        }
+    }
+
+    /// The traffic manager keeps every cross-structure invariant under a
+    /// random mix of enqueues, dequeues and head drops — with every BM
+    /// scheme.
+    #[test]
+    fn tm_invariants_under_random_ops(
+        kind_idx in 0usize..4,
+        ops in prop::collection::vec((0usize..4, 40u64..2_000, 0u8..3), 1..300)
+    ) {
+        let kinds = [BmKind::Dt, BmKind::Occamy, BmKind::Abm, BmKind::Pushout];
+        let cfg = QueueConfig::uniform(4, 10_000_000_000, 2.0);
+        let mut tm = TrafficManager::new(200, 4, kinds[kind_idx].build(cfg));
+        let mut pkt = 0u64;
+        let mut now = 0u64;
+        for (q, len, op) in ops {
+            now += 100;
+            match op {
+                0 => {
+                    tm.enqueue(q, pkt, len, now);
+                    pkt += 1;
+                }
+                1 => {
+                    tm.dequeue(q, now);
+                }
+                _ => {
+                    tm.head_drop(q, now);
+                }
+            }
+            prop_assert!(tm.check_invariants(), "invariants broke");
+        }
+        // Conservation across counters: everything enqueued is either
+        // still queued, transmitted, or head-dropped.
+        let st = tm.stats();
+        let queued: u64 = (0..4).map(|q| tm.queue_pkts(q) as u64).sum();
+        prop_assert_eq!(
+            st.enqueued_pkts,
+            queued + st.dequeued_pkts + st.head_dropped_pkts
+        );
+    }
+
+    /// Draining a traffic manager returns the buffer to pristine state.
+    #[test]
+    fn tm_drains_clean(fills in prop::collection::vec((0usize..3, 40u64..1_500), 1..60)) {
+        let cfg = QueueConfig::uniform(3, 10_000_000_000, 8.0);
+        let mut tm = TrafficManager::new(300, 3, BmKind::Occamy.build(cfg));
+        for (i, &(q, len)) in fills.iter().enumerate() {
+            tm.enqueue(q, i as u64, len, i as u64);
+        }
+        for q in 0..3 {
+            while tm.dequeue(q, 1_000_000).is_some() {}
+        }
+        prop_assert_eq!(tm.state().total(), 0);
+        prop_assert!(tm.check_invariants());
+    }
+
+    /// Cell-rounded accounting: occupancy is always a multiple of the
+    /// cell size and at least the wire bytes.
+    #[test]
+    fn tm_accounts_in_cells(lens in prop::collection::vec(1u64..4_000, 1..40)) {
+        let cfg = QueueConfig::uniform(1, 10_000_000_000, 64.0);
+        let mut tm = TrafficManager::new(10_000, 1, BmKind::Dt.build(cfg));
+        let mut wire = 0u64;
+        for (i, &len) in lens.iter().enumerate() {
+            if matches!(tm.enqueue(0, i as u64, len, 0), occamy_hw::EnqueueOutcome::Accepted) {
+                wire += len;
+            }
+        }
+        prop_assert_eq!(tm.state().total() % CELL_SIZE, 0);
+        prop_assert!(tm.state().total() >= wire);
+        prop_assert_eq!(tm.queue_wire_bytes(0), wire);
+    }
+
+    /// The comparator tree finds exactly the argmax (lowest index on
+    /// ties) for arbitrary inputs and widths.
+    #[test]
+    fn maxfinder_matches_argmax(vals in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mf = MaxFinder::new(vals.len(), 20);
+        let got = mf.find(&vals).unwrap();
+        let exp = vals
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .unwrap();
+        prop_assert_eq!(got, exp);
+    }
+
+    /// Tree delay is monotone in both input count and bit width.
+    #[test]
+    fn maxfinder_delay_monotone(n in 1usize..512, k in 1u32..63) {
+        let base = MaxFinder::new(n, k);
+        let wider = MaxFinder::new(n, k + 1);
+        let bigger = MaxFinder::new(n * 2, k);
+        prop_assert!(wider.delay_ps() >= base.delay_ps());
+        prop_assert!(bigger.delay_ps() >= base.delay_ps());
+    }
+}

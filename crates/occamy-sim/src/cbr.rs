@@ -1,0 +1,122 @@
+//! Raw constant-bit-rate sources — the Pktgen-DPDK stand-in.
+//!
+//! The P4 testbed experiments (paper Figs. 11–12) drive the switch with
+//! raw line-rate traffic, no congestion control: a long-lived stream plus
+//! a fixed-size burst. A [`CbrSource`] emits fixed-size datagrams at a
+//! configured rate between a start and stop time, optionally bounded by a
+//! total byte budget (the burst size).
+
+use crate::packet::Packet;
+use crate::time::{tx_time_ps, Ps};
+
+/// A raw constant-bit-rate packet source attached to a host.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    /// Source index (also stamped as the `flow` id of its packets).
+    pub id: usize,
+    /// Emitting host.
+    pub host: usize,
+    /// Destination host.
+    pub dst: usize,
+    /// Emission rate in bits/s.
+    pub rate_bps: u64,
+    /// Payload bytes per packet.
+    pub pkt_len: u32,
+    /// Switch scheduling class.
+    pub prio: u8,
+    /// First emission time.
+    pub start_ps: Ps,
+    /// No emissions at or after this time.
+    pub stop_ps: Ps,
+    /// Total payload budget (burst size); `None` = unbounded.
+    pub budget_bytes: Option<u64>,
+    /// Payload bytes emitted so far.
+    pub emitted_bytes: u64,
+}
+
+impl CbrSource {
+    /// Whether the source may emit at `now`.
+    pub fn active(&self, now: Ps) -> bool {
+        now < self.stop_ps && self.budget_bytes.map_or(true, |b| self.emitted_bytes < b)
+    }
+
+    /// Produces the next packet and advances the budget.
+    ///
+    /// The final packet of a budgeted burst is truncated to the remaining
+    /// bytes.
+    pub fn emit(&mut self, now: Ps) -> Packet {
+        let mut len = self.pkt_len as u64;
+        if let Some(b) = self.budget_bytes {
+            len = len.min(b - self.emitted_bytes);
+        }
+        self.emitted_bytes += len;
+        Packet::raw(
+            self.id as u32,
+            self.host as u32,
+            self.dst as u32,
+            len as u32,
+            self.prio,
+            now,
+        )
+    }
+
+    /// Gap between emissions at the configured rate (paced on wire size).
+    pub fn emit_interval(&self) -> Ps {
+        tx_time_ps(
+            self.pkt_len as u64 + crate::packet::HDR_BYTES,
+            self.rate_bps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::US;
+
+    fn source(budget: Option<u64>) -> CbrSource {
+        CbrSource {
+            id: 0,
+            host: 0,
+            dst: 1,
+            rate_bps: 10_000_000_000,
+            pkt_len: 1_460,
+            prio: 0,
+            start_ps: 0,
+            stop_ps: 100 * US,
+            budget_bytes: budget,
+            emitted_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn active_window_and_budget() {
+        let mut s = source(Some(3_000));
+        assert!(s.active(0));
+        assert!(!s.active(100 * US));
+        s.emit(0);
+        s.emit(1);
+        assert!(s.emitted_bytes >= 2_920);
+        // Third emission exhausts the 3000-byte budget.
+        let last = s.emit(2);
+        assert_eq!(last.len, 80, "final packet truncated to budget");
+        assert!(!s.active(3));
+    }
+
+    #[test]
+    fn unbounded_source_runs_to_stop() {
+        let mut s = source(None);
+        for _ in 0..1_000 {
+            s.emit(0);
+        }
+        assert!(s.active(99 * US));
+        assert!(!s.active(101 * US));
+    }
+
+    #[test]
+    fn emission_interval_matches_rate() {
+        let s = source(None);
+        // 1500 wire bytes at 10 Gbps = 1.2 µs.
+        assert_eq!(s.emit_interval(), 1_200_000);
+    }
+}

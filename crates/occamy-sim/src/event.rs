@@ -1,0 +1,189 @@
+//! The event queue: a time-ordered heap with deterministic tie-breaking.
+
+use crate::packet::{FlowId, Packet};
+use crate::time::Ps;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A node in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeId {
+    /// Host `index`.
+    Host(usize),
+    /// Switch `index`.
+    Switch(usize),
+}
+
+/// Discrete simulation events.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A packet arrives at a node (after link serialization + propagation).
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A switch egress port finished serializing its current packet.
+    PortFree {
+        /// Switch index.
+        switch: usize,
+        /// Port index.
+        port: usize,
+    },
+    /// A host NIC finished serializing its current packet.
+    HostTxFree {
+        /// Host index.
+        host: usize,
+    },
+    /// Retry Occamy expulsion once the token bucket has refilled.
+    ExpelRetry {
+        /// Switch index.
+        switch: usize,
+        /// Buffer partition index.
+        partition: usize,
+    },
+    /// Retransmission-timer check for a flow.
+    ///
+    /// Flows keep a single pending timer event plus a soft deadline; a
+    /// firing that arrives before the (re-armed) deadline reschedules
+    /// itself instead of acting.
+    Rto {
+        /// Flow index.
+        flow: FlowId,
+    },
+    /// Start an application flow.
+    FlowStart {
+        /// Flow index.
+        flow: FlowId,
+    },
+    /// Emit the next CBR packet of a raw source.
+    CbrEmit {
+        /// CBR source index.
+        source: usize,
+    },
+    /// Record a queue-length sample and reschedule until `until`.
+    Sample {
+        /// Switch to sample.
+        switch: usize,
+        /// Partition to sample.
+        partition: usize,
+        /// Sampling period.
+        interval: Ps,
+        /// Stop sampling after this time.
+        until: Ps,
+    },
+}
+
+struct Scheduled {
+    at: Ps,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, insertion sequence).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue.
+///
+/// Events at equal timestamps pop in insertion order, which makes runs
+/// bit-for-bit reproducible regardless of heap internals.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn push(&mut self, at: Ps, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(Ps, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::HostTxFree { host: 3 });
+        q.push(10, Event::HostTxFree { host: 1 });
+        q.push(20, Event::HostTxFree { host: 2 });
+        let order: Vec<Ps> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for host in 0..5 {
+            q.push(42, Event::HostTxFree { host });
+        }
+        let hosts: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::HostTxFree { host } => host,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(hosts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(7, Event::HostTxFree { host: 0 });
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

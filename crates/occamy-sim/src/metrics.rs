@@ -1,0 +1,140 @@
+//! Simulation-wide measurement collection.
+
+use crate::time::Ps;
+
+/// One periodic sample of a buffer partition (paper Fig. 11 time series).
+#[derive(Debug, Clone)]
+pub struct QueueSample {
+    /// Sample time.
+    pub t: Ps,
+    /// Switch sampled.
+    pub switch: usize,
+    /// Partition sampled.
+    pub partition: usize,
+    /// Per-queue byte lengths.
+    pub qlens: Vec<u64>,
+    /// Per-queue admission thresholds `T(t)`.
+    pub thresholds: Vec<u64>,
+}
+
+/// Aggregate drop/expulsion counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropCounters {
+    /// Arrivals tail-dropped because the queue exceeded its threshold.
+    pub threshold_drops: u64,
+    /// Arrivals tail-dropped because the buffer was full.
+    pub full_drops: u64,
+    /// Packets expelled by Occamy's reactive head drop.
+    pub head_drops: u64,
+    /// Packets evicted synchronously by Pushout.
+    pub pushout_evictions: u64,
+}
+
+impl DropCounters {
+    /// All tail drops (arrivals refused).
+    pub fn tail_drops(&self) -> u64 {
+        self.threshold_drops + self.full_drops
+    }
+
+    /// All packets removed from the buffer without transmission.
+    pub fn total_losses(&self) -> u64 {
+        self.tail_drops() + self.head_drops + self.pushout_evictions
+    }
+}
+
+/// Per-raw-source (CBR) delivery accounting, for loss-rate experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CbrCounters {
+    /// Packets emitted by the source.
+    pub sent_pkts: u64,
+    /// Bytes emitted by the source.
+    pub sent_bytes: u64,
+    /// Packets delivered to the destination host.
+    pub rcvd_pkts: u64,
+    /// Bytes delivered to the destination host.
+    pub rcvd_bytes: u64,
+}
+
+impl CbrCounters {
+    /// Fraction of emitted packets lost in the network.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent_pkts == 0 {
+            0.0
+        } else {
+            1.0 - self.rcvd_pkts as f64 / self.sent_pkts as f64
+        }
+    }
+}
+
+/// All measurements collected during a run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Aggregate drop counters (all switches).
+    pub drops: DropCounters,
+    /// Shared-buffer utilization (`total/capacity`) sampled at each
+    /// admission drop (paper Fig. 7a).
+    pub drop_buffer_util: Vec<f64>,
+    /// Memory-bandwidth utilization sampled at each admission drop
+    /// (paper Fig. 7b).
+    pub drop_membw_util: Vec<f64>,
+    /// Periodic queue-length samples (paper Fig. 11).
+    pub queue_samples: Vec<QueueSample>,
+    /// Per-CBR-source delivery counters (paper Fig. 12).
+    pub cbr: Vec<CbrCounters>,
+    /// Total data packets delivered to hosts.
+    pub delivered_pkts: u64,
+    /// Total data bytes delivered to hosts.
+    pub delivered_bytes: u64,
+}
+
+impl Metrics {
+    /// Records an admission drop with the utilization context.
+    pub fn record_drop(&mut self, threshold: bool, buffer_util: f64, membw_util: f64) {
+        if threshold {
+            self.drops.threshold_drops += 1;
+        } else {
+            self.drops.full_drops += 1;
+        }
+        self.drop_buffer_util.push(buffer_util);
+        self.drop_membw_util.push(membw_util);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_up() {
+        let mut d = DropCounters::default();
+        d.threshold_drops = 3;
+        d.full_drops = 2;
+        d.head_drops = 4;
+        d.pushout_evictions = 1;
+        assert_eq!(d.tail_drops(), 5);
+        assert_eq!(d.total_losses(), 10);
+    }
+
+    #[test]
+    fn cbr_loss_rate() {
+        let c = CbrCounters {
+            sent_pkts: 100,
+            sent_bytes: 100_000,
+            rcvd_pkts: 80,
+            rcvd_bytes: 80_000,
+        };
+        assert!((c.loss_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(CbrCounters::default().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_drop_appends_samples() {
+        let mut m = Metrics::default();
+        m.record_drop(true, 0.8, 0.5);
+        m.record_drop(false, 0.99, 0.7);
+        assert_eq!(m.drops.threshold_drops, 1);
+        assert_eq!(m.drops.full_drops, 1);
+        assert_eq!(m.drop_buffer_util, vec![0.8, 0.99]);
+        assert_eq!(m.drop_membw_util, vec![0.5, 0.7]);
+    }
+}

@@ -1,0 +1,144 @@
+//! The simulated packet.
+
+use crate::time::Ps;
+
+/// Flow identifier: index into the world's flow table.
+pub type FlowId = u32;
+
+/// TCP/IP header overhead charged per packet, in bytes.
+pub const HDR_BYTES: u64 = 40;
+
+/// Kind of packet payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// TCP data segment.
+    Data,
+    /// TCP cumulative ACK (possibly with ECN echo).
+    Ack,
+    /// Raw constant-bit-rate datagram (Pktgen-style, no transport).
+    Raw,
+}
+
+/// A packet in flight or queued in a switch buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Source host index.
+    pub src: u32,
+    /// Destination host index.
+    pub dst: u32,
+    /// Payload byte offset of this segment (data) — unused for ACKs.
+    pub seq: u64,
+    /// Payload length in bytes (0 for ACKs).
+    pub len: u32,
+    /// Cumulative ACK sequence (ACKs only).
+    pub ack_seq: u64,
+    /// Packet kind.
+    pub kind: PacketKind,
+    /// Switch-set ECN Congestion Experienced mark.
+    pub ce: bool,
+    /// ACK echoes the CE mark of the data packet it acknowledges.
+    pub ece: bool,
+    /// Scheduling class / priority at switch ports (0 = highest).
+    pub prio: u8,
+    /// Sender timestamp, echoed in ACKs for RTT estimation.
+    pub ts: Ps,
+}
+
+impl Packet {
+    /// Bytes this packet occupies on the wire and in switch buffers.
+    #[inline]
+    pub fn wire_bytes(&self) -> u64 {
+        self.len as u64 + HDR_BYTES
+    }
+
+    /// Creates a data segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(flow: FlowId, src: u32, dst: u32, seq: u64, len: u32, prio: u8, ts: Ps) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            seq,
+            len,
+            ack_seq: 0,
+            kind: PacketKind::Data,
+            ce: false,
+            ece: false,
+            prio,
+            ts,
+        }
+    }
+
+    /// Creates an ACK for `flow`, flowing `src → dst` (receiver → sender).
+    pub fn ack(
+        flow: FlowId,
+        src: u32,
+        dst: u32,
+        ack_seq: u64,
+        ece: bool,
+        prio: u8,
+        ts: Ps,
+    ) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            seq: 0,
+            len: 0,
+            ack_seq,
+            kind: PacketKind::Ack,
+            ce: false,
+            ece,
+            prio,
+            ts,
+        }
+    }
+
+    /// Creates a raw CBR datagram.
+    pub fn raw(flow: FlowId, src: u32, dst: u32, len: u32, prio: u8, ts: Ps) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            seq: 0,
+            len,
+            ack_seq: 0,
+            kind: PacketKind::Raw,
+            ce: false,
+            ece: false,
+            prio,
+            ts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let d = Packet::data(1, 0, 1, 0, 1460, 0, 0);
+        assert_eq!(d.wire_bytes(), 1500);
+        let a = Packet::ack(1, 1, 0, 1460, false, 0, 0);
+        assert_eq!(a.wire_bytes(), 40);
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Packet::data(0, 0, 1, 0, 1, 0, 0).kind, PacketKind::Data);
+        assert_eq!(Packet::ack(0, 1, 0, 1, false, 0, 0).kind, PacketKind::Ack);
+        assert_eq!(Packet::raw(0, 0, 1, 100, 2, 5).kind, PacketKind::Raw);
+    }
+
+    #[test]
+    fn ack_echoes_ece() {
+        let a = Packet::ack(3, 1, 0, 99, true, 1, 42);
+        assert!(a.ece);
+        assert!(!a.ce);
+        assert_eq!(a.ack_seq, 99);
+        assert_eq!(a.ts, 42);
+    }
+}

@@ -1,0 +1,107 @@
+//! Static routing tables with ECMP (paper §6.4: "we employ ECMP for
+//! multi-path load balancing").
+
+use crate::packet::FlowId;
+
+/// Per-switch routing: for each destination host, the candidate egress
+/// ports (more than one ⇒ ECMP).
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    /// `candidates[dst_host]` = egress ports toward that host.
+    candidates: Vec<Vec<u16>>,
+}
+
+impl RoutingTable {
+    /// Builds a table from per-destination candidate port lists.
+    pub fn new(candidates: Vec<Vec<u16>>) -> Self {
+        RoutingTable { candidates }
+    }
+
+    /// Number of destinations covered.
+    pub fn num_dsts(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Egress port toward `dst` for `flow`.
+    ///
+    /// ECMP hashes the flow id so all packets of a flow take one path
+    /// (no intra-flow reordering), while different flows spread across
+    /// the candidate set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` has no route.
+    pub fn port_for(&self, dst: usize, flow: FlowId) -> usize {
+        let set = &self.candidates[dst];
+        assert!(!set.is_empty(), "no route to host {dst}");
+        if set.len() == 1 {
+            return set[0] as usize;
+        }
+        set[(ecmp_hash(flow) % set.len() as u64) as usize] as usize
+    }
+
+    /// The raw candidate set (used by tests and diagnostics).
+    pub fn candidates(&self, dst: usize) -> &[u16] {
+        &self.candidates[dst]
+    }
+}
+
+/// SplitMix64 — a cheap, well-mixed hash for ECMP path selection.
+#[inline]
+pub fn ecmp_hash(flow: FlowId) -> u64 {
+    let mut z = flow as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_candidate_is_deterministic() {
+        let rt = RoutingTable::new(vec![vec![3]]);
+        for f in 0..10 {
+            assert_eq!(rt.port_for(0, f), 3);
+        }
+    }
+
+    #[test]
+    fn flow_sticks_to_one_path() {
+        let rt = RoutingTable::new(vec![vec![0, 1, 2, 3]]);
+        let p = rt.port_for(0, 77);
+        for _ in 0..5 {
+            assert_eq!(rt.port_for(0, 77), p);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let rt = RoutingTable::new(vec![vec![0, 1, 2, 3, 4, 5, 6, 7]]);
+        let mut counts = [0u32; 8];
+        for f in 0..8_000u32 {
+            counts[rt.port_for(0, f)] += 1;
+        }
+        // Each port should get roughly 1000 ± 20%.
+        for (p, &c) in counts.iter().enumerate() {
+            assert!((800..=1_200).contains(&c), "port {p} got {c} of 8000 flows");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let rt = RoutingTable::new(vec![vec![]]);
+        rt.port_for(0, 1);
+    }
+
+    #[test]
+    fn hash_avalanche() {
+        // Adjacent flow ids must map to well-separated hashes.
+        let h1 = ecmp_hash(1);
+        let h2 = ecmp_hash(2);
+        assert_ne!(h1 & 0xFFFF, h2 & 0xFFFF);
+    }
+}

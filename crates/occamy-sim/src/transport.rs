@@ -1,0 +1,731 @@
+//! TCP transport state machines: DCTCP, CUBIC and Reno.
+//!
+//! One [`FlowState`] holds both endpoints of a flow (the sender's
+//! congestion state and the receiver's reassembly state); the world
+//! routes data packets to the receiver half and ACKs to the sender half.
+//! The models follow the standard simulation simplifications of the
+//! DCTCP-lineage papers: per-packet ACKs (no delayed ACK), accurate ECE
+//! echo (each ACK echoes the CE bit of the data packet it acknowledges),
+//! NewReno-style fast recovery, go-back-N on RTO.
+
+use crate::packet::{FlowId, Packet};
+use crate::time::{Ps, SEC};
+use crate::SimConfig;
+
+/// Congestion-control algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcAlgo {
+    /// DCTCP (paper's default; ECN-based, g = 1/16).
+    Dctcp,
+    /// CUBIC (used for the low-priority background flows in §6.2).
+    Cubic,
+    /// TCP NewReno (context baseline).
+    Reno,
+}
+
+/// CUBIC constants (RFC 8312): `C` in MSS/s³ and multiplicative decrease.
+const CUBIC_C: f64 = 0.4;
+const CUBIC_BETA: f64 = 0.7;
+/// Upper bound on the retransmission timeout.
+const MAX_RTO: Ps = 60 * SEC;
+/// Tail-loss probes per flight before falling back to a full RTO
+/// (Linux-style TLP; without it every tail loss costs min RTO, which the
+/// paper's Linux-stack testbed does not exhibit).
+const MAX_TLP_PROBES: u32 = 2;
+/// Probe-timeout floor.
+const TLP_MIN_PTO: Ps = 1_000_000_000; // 1 ms
+
+/// Per-flow transport and measurement state.
+#[derive(Debug, Clone)]
+pub struct FlowState {
+    /// Flow identity (index in the world's flow table).
+    pub id: FlowId,
+    /// Sender host.
+    pub src: u32,
+    /// Receiver host.
+    pub dst: u32,
+    /// Total payload bytes to transfer.
+    pub bytes: u64,
+    /// Switch scheduling class.
+    pub prio: u8,
+    /// Incast query this flow belongs to (for QCT grouping).
+    pub query: Option<u64>,
+    /// Whether this is query-class traffic (metric slicing).
+    pub is_query: bool,
+    /// Scheduled start time.
+    pub start_ps: Ps,
+    /// Completion time (last byte ACKed), if finished.
+    pub end_ps: Option<Ps>,
+    /// Set once the FlowStart event fired.
+    pub started: bool,
+    /// Whether the flow sits in its host's ready queue.
+    pub in_host_queue: bool,
+    /// Whether an `Rto` event is pending in the event queue.
+    pub timer_armed: bool,
+    /// Soft timer deadline; firings before it reschedule themselves.
+    pub rto_deadline: Ps,
+
+    cc: CcAlgo,
+    cwnd: f64,
+    ssthresh: f64,
+    snd_una: u64,
+    snd_nxt: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: u64,
+    retx_pending: bool,
+    srtt: f64,
+    rttvar: f64,
+    rto: Ps,
+    backoff: u32,
+    probes_sent: u32,
+    // DCTCP.
+    alpha: f64,
+    ce_bytes: f64,
+    acked_bytes: f64,
+    window_end: u64,
+    cwr_end: u64,
+    // CUBIC.
+    w_max: f64,
+    epoch_start: Option<Ps>,
+    cubic_k: f64,
+    // Receiver reassembly.
+    rcv_next: u64,
+    ooo: Vec<(u64, u64)>,
+}
+
+impl FlowState {
+    /// Creates a flow, not yet started.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: FlowId,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        prio: u8,
+        start_ps: Ps,
+        cc: CcAlgo,
+        cfg: &SimConfig,
+    ) -> Self {
+        let mss = cfg.mss as f64;
+        FlowState {
+            id,
+            src,
+            dst,
+            bytes,
+            prio,
+            query: None,
+            is_query: false,
+            start_ps,
+            end_ps: None,
+            started: false,
+            in_host_queue: false,
+            timer_armed: false,
+            rto_deadline: 0,
+            cc,
+            cwnd: cfg.init_cwnd_mss as f64 * mss,
+            ssthresh: f64::MAX,
+            snd_una: 0,
+            snd_nxt: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            retx_pending: false,
+            srtt: 0.0,
+            rttvar: 0.0,
+            rto: cfg.min_rto,
+            backoff: 0,
+            probes_sent: 0,
+            alpha: 1.0, // conservative start, per the DCTCP paper
+            ce_bytes: 0.0,
+            acked_bytes: 0.0,
+            window_end: 0,
+            cwr_end: 0,
+            w_max: 0.0,
+            epoch_start: None,
+            cubic_k: 0.0,
+            rcv_next: 0,
+            ooo: Vec::new(),
+        }
+    }
+
+    /// Whether the flow has delivered (and had ACKed) every byte.
+    pub fn done(&self) -> bool {
+        self.end_ps.is_some()
+    }
+
+    /// Congestion window in bytes (diagnostics).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// DCTCP's congestion estimate α (diagnostics).
+    pub fn dctcp_alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Bytes in flight.
+    pub fn inflight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Whether unacknowledged data exists (RTO timer should be armed).
+    pub fn outstanding(&self) -> bool {
+        !self.done() && self.snd_una < self.snd_nxt
+    }
+
+    /// Current timeout with exponential backoff applied.
+    pub fn current_rto(&self) -> Ps {
+        self.rto
+            .saturating_mul(1u64 << self.backoff.min(10))
+            .min(MAX_RTO)
+    }
+
+    /// Probe timeout for tail-loss probes: `2·SRTT + 4·RTTVAR`, floored
+    /// at 1 ms and capped at the full RTO.
+    pub fn pto(&self, cfg: &SimConfig) -> Ps {
+        if self.srtt == 0.0 {
+            return TLP_MIN_PTO.min(cfg.min_rto);
+        }
+        let pto = (2.0 * self.srtt + 4.0 * self.rttvar) as Ps;
+        pto.clamp(TLP_MIN_PTO, self.current_rto())
+    }
+
+    /// Delay until the retransmission timer should next fire: the probe
+    /// timeout while probes remain, the full RTO afterwards.
+    pub fn timer_delay(&self, cfg: &SimConfig) -> Ps {
+        if self.probes_sent < MAX_TLP_PROBES {
+            self.pto(cfg)
+        } else {
+            self.current_rto()
+        }
+    }
+
+    /// Handles the retransmission timer firing. While probes remain, a
+    /// tail-loss probe retransmits the `snd_una` segment without touching
+    /// the congestion state; once exhausted, a full RTO fires
+    /// ([`FlowState::on_rto`]). Returns `true` if this was a full RTO.
+    pub fn on_timer(&mut self, cfg: &SimConfig) -> bool {
+        if self.done() || !self.outstanding() {
+            return false;
+        }
+        if self.probes_sent < MAX_TLP_PROBES {
+            self.probes_sent += 1;
+            self.retx_pending = true;
+            false
+        } else {
+            self.on_rto(cfg);
+            true
+        }
+    }
+
+    /// Whether the sender may emit a segment right now.
+    pub fn can_send(&self) -> bool {
+        if self.done() || !self.started {
+            return false;
+        }
+        if self.retx_pending {
+            return true;
+        }
+        self.snd_nxt < self.bytes && (self.inflight() as f64) < self.cwnd
+    }
+
+    /// Produces the next segment to transmit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when [`FlowState::can_send`] is false.
+    pub fn next_segment(&mut self, now: Ps, cfg: &SimConfig) -> Packet {
+        assert!(self.can_send(), "flow {} cannot send", self.id);
+        let mss = cfg.mss as u64;
+        let (seq, len) = if self.retx_pending {
+            self.retx_pending = false;
+            (self.snd_una, mss.min(self.bytes - self.snd_una))
+        } else {
+            let seq = self.snd_nxt;
+            let len = mss.min(self.bytes - seq);
+            self.snd_nxt += len;
+            (seq, len)
+        };
+        Packet::data(self.id, self.src, self.dst, seq, len as u32, self.prio, now)
+    }
+
+    /// Receiver half: accepts a data segment, returns the cumulative ACK
+    /// to send back.
+    pub fn on_data(&mut self, seq: u64, len: u64) -> u64 {
+        let end = seq + len;
+        if seq <= self.rcv_next {
+            self.rcv_next = self.rcv_next.max(end);
+            // Absorb any out-of-order intervals now contiguous.
+            while let Some(&(s, e)) = self.ooo.first() {
+                if s <= self.rcv_next {
+                    self.rcv_next = self.rcv_next.max(e);
+                    self.ooo.remove(0);
+                } else {
+                    break;
+                }
+            }
+        } else {
+            // Insert-merge into the sorted disjoint interval list.
+            let pos = self.ooo.partition_point(|&(s, _)| s < seq);
+            self.ooo.insert(pos, (seq, end));
+            let mut i = pos.saturating_sub(1);
+            while i + 1 < self.ooo.len() {
+                if self.ooo[i].1 >= self.ooo[i + 1].0 {
+                    self.ooo[i].1 = self.ooo[i].1.max(self.ooo[i + 1].1);
+                    self.ooo.remove(i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.rcv_next
+    }
+
+    /// Sender half: processes a cumulative ACK. Returns `true` if the
+    /// flow completed on this ACK.
+    pub fn on_ack(&mut self, ack: u64, ece: bool, echo_ts: Ps, now: Ps, cfg: &SimConfig) -> bool {
+        if self.done() {
+            return false;
+        }
+        let mss = cfg.mss as f64;
+        if ack > self.snd_una {
+            let newly = (ack - self.snd_una) as f64;
+            self.snd_una = ack;
+            // A late ACK (sent before an RTO's go-back-N) can advance
+            // `snd_una` past the reset `snd_nxt`.
+            self.snd_nxt = self.snd_nxt.max(self.snd_una);
+            self.dup_acks = 0;
+            self.probes_sent = 0;
+            self.update_rtt(now.saturating_sub(echo_ts), cfg);
+            // DCTCP fraction bookkeeping.
+            self.acked_bytes += newly;
+            if ece {
+                self.ce_bytes += newly;
+            }
+            if self.in_recovery {
+                if ack >= self.recover {
+                    self.in_recovery = false;
+                } else {
+                    // NewReno partial ACK: retransmit the next hole.
+                    self.retx_pending = true;
+                }
+            } else {
+                // Linux-style prompt ECN response: the first ECE of a
+                // window enters CWR and reduces cwnd immediately (rather
+                // than waiting for the window boundary), which is what
+                // keeps slow-start incast from blowing through the buffer.
+                if self.cc == CcAlgo::Dctcp && ece && ack > self.cwr_end {
+                    self.cwnd = (self.cwnd * (1.0 - self.alpha / 2.0)).max(mss);
+                    self.ssthresh = self.cwnd;
+                    self.cwr_end = self.snd_nxt;
+                } else {
+                    self.grow(newly, now, cfg);
+                }
+            }
+            if self.cc == CcAlgo::Dctcp && ack >= self.window_end {
+                self.dctcp_window_boundary(cfg);
+            }
+            if self.snd_una >= self.bytes {
+                self.end_ps = Some(now);
+                return true;
+            }
+        } else if ack == self.snd_una && self.outstanding() {
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && !self.in_recovery {
+                self.enter_recovery(mss);
+            }
+        }
+        false
+    }
+
+    fn update_rtt(&mut self, rtt: Ps, cfg: &SimConfig) {
+        let rtt = rtt as f64;
+        if self.srtt == 0.0 {
+            self.srtt = rtt;
+            self.rttvar = rtt / 2.0;
+        } else {
+            self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - rtt).abs();
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt;
+        }
+        let rto = (self.srtt + 4.0 * self.rttvar) as Ps;
+        self.rto = rto.max(cfg.min_rto);
+        self.backoff = 0;
+    }
+
+    fn grow(&mut self, newly: f64, now: Ps, cfg: &SimConfig) {
+        let mss = cfg.mss as f64;
+        if self.cwnd < self.ssthresh {
+            self.cwnd += newly; // slow start
+            return;
+        }
+        match self.cc {
+            CcAlgo::Dctcp | CcAlgo::Reno => {
+                self.cwnd += mss * newly / self.cwnd;
+            }
+            CcAlgo::Cubic => self.cubic_grow(now, mss),
+        }
+    }
+
+    fn cubic_grow(&mut self, now: Ps, mss: f64) {
+        let epoch = *self.epoch_start.get_or_insert_with(|| {
+            let w_max_mss = (self.w_max / mss).max(self.cwnd / mss);
+            self.cubic_k = (w_max_mss * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+            now
+        });
+        let t = (now - epoch) as f64 / SEC as f64;
+        let w_max_mss = (self.w_max / mss).max(1.0);
+        let target = CUBIC_C * (t - self.cubic_k).powi(3) + w_max_mss;
+        let cwnd_mss = self.cwnd / mss;
+        if target > cwnd_mss {
+            self.cwnd += mss * (target - cwnd_mss) / cwnd_mss;
+        } else {
+            // TCP-friendly floor: grow at least Reno-like.
+            self.cwnd += 0.1 * mss * mss / self.cwnd;
+        }
+    }
+
+    fn dctcp_window_boundary(&mut self, cfg: &SimConfig) {
+        // Only α estimation happens here; the cwnd reduction itself is
+        // applied promptly by the CWR logic in `on_ack`.
+        if self.acked_bytes > 0.0 {
+            let f = self.ce_bytes / self.acked_bytes;
+            self.alpha = (1.0 - cfg.dctcp_g) * self.alpha + cfg.dctcp_g * f;
+        }
+        self.ce_bytes = 0.0;
+        self.acked_bytes = 0.0;
+        self.window_end = self.snd_nxt;
+    }
+
+    fn enter_recovery(&mut self, mss: f64) {
+        self.in_recovery = true;
+        self.recover = self.snd_nxt;
+        self.retx_pending = true;
+        match self.cc {
+            CcAlgo::Dctcp | CcAlgo::Reno => {
+                let inflight = self.inflight() as f64;
+                self.ssthresh = (inflight / 2.0).max(2.0 * mss);
+                self.cwnd = self.ssthresh;
+            }
+            CcAlgo::Cubic => {
+                self.w_max = self.cwnd;
+                self.cwnd = (self.cwnd * CUBIC_BETA).max(2.0 * mss);
+                self.ssthresh = self.cwnd;
+                self.epoch_start = None;
+            }
+        }
+    }
+
+    /// Handles a retransmission timeout: collapse to one MSS and resend
+    /// everything from `snd_una` (go-back-N).
+    pub fn on_rto(&mut self, cfg: &SimConfig) {
+        if self.done() || !self.outstanding() {
+            return;
+        }
+        let mss = cfg.mss as f64;
+        match self.cc {
+            CcAlgo::Dctcp | CcAlgo::Reno => {
+                self.ssthresh = (self.inflight() as f64 / 2.0).max(2.0 * mss);
+            }
+            CcAlgo::Cubic => {
+                self.w_max = self.cwnd;
+                self.ssthresh = (self.cwnd * CUBIC_BETA).max(2.0 * mss);
+                self.epoch_start = None;
+            }
+        }
+        self.cwnd = mss;
+        self.snd_nxt = self.snd_una;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        self.retx_pending = false;
+        self.window_end = self.snd_nxt;
+        self.backoff = (self.backoff + 1).min(10);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{MS, US};
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    fn flow(bytes: u64, cc: CcAlgo) -> FlowState {
+        let mut f = FlowState::new(0, 0, 1, bytes, 0, 0, cc, &cfg());
+        f.started = true;
+        f
+    }
+
+    /// Drives a lossless transfer: sender emits, receiver acks, with a
+    /// fixed RTT. Returns the ACK count needed to finish.
+    fn run_lossless(f: &mut FlowState, rtt: Ps) -> u32 {
+        let c = cfg();
+        let mut now = 0;
+        let mut acks = 0;
+        for _ in 0..100_000 {
+            // Emit everything the window allows.
+            let mut pkts = Vec::new();
+            while f.can_send() {
+                pkts.push(f.next_segment(now, &c));
+            }
+            now += rtt;
+            for p in pkts {
+                let ack = f.on_data(p.seq, p.len as u64);
+                acks += 1;
+                if f.on_ack(ack, false, p.ts, now, &c) {
+                    return acks;
+                }
+            }
+        }
+        panic!("transfer did not finish");
+    }
+
+    #[test]
+    fn small_flow_completes_in_initial_window() {
+        let mut f = flow(10_000, CcAlgo::Dctcp);
+        let acks = run_lossless(&mut f, 100 * US);
+        assert!(f.done());
+        assert_eq!(f.end_ps, Some(100 * US));
+        assert_eq!(acks, 7); // ceil(10000/1460)
+    }
+
+    #[test]
+    fn slow_start_doubles_cwnd_per_rtt() {
+        let c = cfg();
+        let mut f = flow(10_000_000, CcAlgo::Dctcp);
+        let w0 = f.cwnd();
+        let mut now = 0;
+        // One RTT of ACK clocking: every in-flight byte acknowledged.
+        let mut pkts = Vec::new();
+        while f.can_send() {
+            pkts.push(f.next_segment(now, &c));
+        }
+        now += 100 * US;
+        for p in &pkts {
+            let ack = f.on_data(p.seq, p.len as u64);
+            f.on_ack(ack, false, p.ts, now, &c);
+        }
+        assert!(
+            (f.cwnd() - 2.0 * w0).abs() < c.mss as f64,
+            "cwnd {} not ~2×{}",
+            f.cwnd(),
+            w0
+        );
+    }
+
+    #[test]
+    fn large_flow_completes() {
+        let mut f = flow(2_000_000, CcAlgo::Dctcp);
+        run_lossless(&mut f, 80 * US);
+        assert!(f.done());
+    }
+
+    #[test]
+    fn dctcp_alpha_rises_with_marks_and_cuts_window() {
+        let c = cfg();
+        let mut f = flow(50_000_000, CcAlgo::Dctcp);
+        // Push out of slow start first.
+        f.ssthresh = 0.0;
+        let mut now = 0;
+        // All ACKs carry ECE for several windows: α → 1.
+        for _ in 0..20 {
+            let mut pkts = Vec::new();
+            while f.can_send() {
+                pkts.push(f.next_segment(now, &c));
+            }
+            now += 100 * US;
+            for p in &pkts {
+                let ack = f.on_data(p.seq, p.len as u64);
+                f.on_ack(ack, true, p.ts, now, &c);
+            }
+        }
+        assert!(
+            f.dctcp_alpha() > 0.9,
+            "alpha {} should approach 1",
+            f.dctcp_alpha()
+        );
+        // And the window collapsed towards its floor.
+        assert!(f.cwnd() < 4.0 * c.mss as f64, "cwnd {} not cut", f.cwnd());
+        assert!(f.dctcp_alpha() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn dctcp_alpha_decays_without_marks() {
+        let c = cfg();
+        let mut f = flow(50_000_000, CcAlgo::Dctcp);
+        // Congestion avoidance keeps per-RTT packet counts small so the
+        // flow spans 40 window boundaries: α = (15/16)⁴⁰ ≈ 0.076.
+        f.ssthresh = 0.0;
+        let mut now = 0;
+        for _ in 0..40 {
+            let mut pkts = Vec::new();
+            while f.can_send() {
+                pkts.push(f.next_segment(now, &c));
+            }
+            now += 100 * US;
+            for p in &pkts {
+                let ack = f.on_data(p.seq, p.len as u64);
+                f.on_ack(ack, false, p.ts, now, &c);
+            }
+        }
+        assert!(
+            f.dctcp_alpha() < 0.1,
+            "alpha {} should decay toward 0",
+            f.dctcp_alpha()
+        );
+    }
+
+    #[test]
+    fn three_dupacks_trigger_fast_retransmit() {
+        let c = cfg();
+        let mut f = flow(1_000_000, CcAlgo::Dctcp);
+        let mut pkts = Vec::new();
+        while f.can_send() {
+            pkts.push(f.next_segment(0, &c));
+        }
+        assert!(pkts.len() >= 5);
+        // First packet lost: receiver sees 1..4, acks stay at 0.
+        let cwnd_before = f.cwnd();
+        for p in &pkts[1..4] {
+            let ack = f.on_data(p.seq, p.len as u64);
+            assert_eq!(ack, 0, "cumulative ack must not advance");
+            f.on_ack(ack, false, p.ts, 10 * US, &c);
+        }
+        // Third dupack: recovery entered, retransmission pending.
+        assert!(f.can_send(), "retransmit must be pending");
+        let rtx = f.next_segment(11 * US, &c);
+        assert_eq!(rtx.seq, 0, "must retransmit the hole");
+        assert!(f.cwnd() < cwnd_before, "window must shrink on loss");
+    }
+
+    #[test]
+    fn recovery_completes_on_full_ack() {
+        let c = cfg();
+        let mut f = flow(100_000, CcAlgo::Dctcp);
+        let mut pkts = Vec::new();
+        while f.can_send() {
+            pkts.push(f.next_segment(0, &c));
+        }
+        // Lose packet 0; deliver the rest.
+        for p in &pkts[1..] {
+            let ack = f.on_data(p.seq, p.len as u64);
+            f.on_ack(ack, false, p.ts, 10 * US, &c);
+        }
+        // Retransmit and deliver the hole: cumulative ack jumps to the end
+        // of all received data.
+        let rtx = f.next_segment(20 * US, &c);
+        let ack = f.on_data(rtx.seq, rtx.len as u64);
+        assert!(ack > rtx.len as u64, "ack must jump past the hole");
+        f.on_ack(ack, false, rtx.ts, 30 * US, &c);
+        assert!(!f.in_recovery);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_mss_and_goes_back_n() {
+        let c = cfg();
+        let mut f = flow(1_000_000, CcAlgo::Dctcp);
+        let mut n = 0;
+        while f.can_send() {
+            f.next_segment(0, &c);
+            n += 1;
+        }
+        assert!(n >= 10);
+        f.on_rto(&c);
+        assert_eq!(f.cwnd(), c.mss as f64);
+        assert_eq!(f.inflight(), 0, "go-back-N resets snd_nxt");
+        assert!(f.can_send());
+        let p = f.next_segment(1 * MS, &c);
+        assert_eq!(p.seq, 0);
+        // Backoff doubles the effective RTO.
+        assert_eq!(f.current_rto(), 2 * c.min_rto);
+    }
+
+    #[test]
+    fn receiver_merges_out_of_order_segments() {
+        let mut f = flow(10_000, CcAlgo::Dctcp);
+        assert_eq!(f.on_data(2_000, 1_000), 0);
+        assert_eq!(f.on_data(4_000, 1_000), 0);
+        assert_eq!(f.on_data(1_000, 1_000), 0);
+        assert_eq!(f.on_data(0, 1_000), 3_000); // 0..3000 contiguous
+        assert_eq!(f.on_data(3_000, 1_000), 5_000); // absorbs 4000..5000
+    }
+
+    #[test]
+    fn receiver_handles_duplicates_and_overlaps() {
+        let mut f = flow(10_000, CcAlgo::Dctcp);
+        assert_eq!(f.on_data(0, 1_000), 1_000);
+        assert_eq!(f.on_data(0, 1_000), 1_000); // exact duplicate
+        assert_eq!(f.on_data(500, 1_000), 1_500); // overlapping
+        assert_eq!(f.on_data(3_000, 500), 1_500);
+        assert_eq!(f.on_data(3_200, 800), 1_500); // overlap in OOO space
+        assert_eq!(f.on_data(1_500, 1_500), 4_000);
+    }
+
+    #[test]
+    fn cubic_cuts_by_beta_on_loss() {
+        let c = cfg();
+        let mut f = flow(10_000_000, CcAlgo::Cubic);
+        f.ssthresh = 0.0; // force congestion avoidance
+        f.cwnd = 100.0 * c.mss as f64;
+        let mut pkts = Vec::new();
+        while f.can_send() {
+            pkts.push(f.next_segment(0, &c));
+        }
+        let before = f.cwnd();
+        for p in &pkts[1..4] {
+            let ack = f.on_data(p.seq, p.len as u64);
+            f.on_ack(ack, false, p.ts, 10 * US, &c);
+        }
+        assert!(
+            (f.cwnd() - CUBIC_BETA * before).abs() < 1.0,
+            "cwnd {} != 0.7 × {}",
+            f.cwnd(),
+            before
+        );
+    }
+
+    #[test]
+    fn cubic_grows_toward_w_max() {
+        let c = cfg();
+        let mut f = flow(100_000_000, CcAlgo::Cubic);
+        f.ssthresh = 0.0;
+        f.cwnd = 50.0 * c.mss as f64;
+        f.w_max = 100.0 * c.mss as f64;
+        let mut now = 0;
+        for _ in 0..400 {
+            let mut pkts = Vec::new();
+            while f.can_send() {
+                pkts.push(f.next_segment(now, &c));
+            }
+            now += 10 * MS;
+            for p in &pkts {
+                let ack = f.on_data(p.seq, p.len as u64);
+                f.on_ack(ack, false, p.ts, now, &c);
+            }
+        }
+        let w_mss = f.cwnd() / c.mss as f64;
+        assert!(w_mss > 90.0, "CUBIC stalled at {w_mss} MSS");
+    }
+
+    #[test]
+    fn rtt_estimation_sets_rto() {
+        let c = cfg();
+        let mut f = flow(1_000_000, CcAlgo::Dctcp);
+        let p = f.next_segment(0, &c);
+        let ack = f.on_data(p.seq, p.len as u64);
+        f.on_ack(ack, false, p.ts, 500 * US, &c);
+        // RTO floors at min_rto despite the small RTT.
+        assert_eq!(f.current_rto(), c.min_rto);
+        assert!(f.srtt > 0.0);
+    }
+
+    #[test]
+    fn unstarted_flow_cannot_send() {
+        let mut f = FlowState::new(0, 0, 1, 1_000, 0, 0, CcAlgo::Dctcp, &cfg());
+        assert!(!f.can_send());
+        f.started = true;
+        assert!(f.can_send());
+    }
+}

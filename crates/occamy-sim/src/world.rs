@@ -1,0 +1,585 @@
+//! The simulation world: owns every component and drives the event loop.
+
+use crate::cbr::CbrSource;
+use crate::event::{Event, EventQueue, NodeId};
+use crate::host::Host;
+use crate::metrics::{CbrCounters, Metrics, QueueSample};
+use crate::packet::{FlowId, Packet, PacketKind};
+use crate::switch::Switch;
+use crate::time::{ps_to_ns, tx_time_ps, Ps, NS};
+use crate::transport::{CcAlgo, FlowState};
+use crate::SimConfig;
+use occamy_core::{BufferManager, DropReason, Verdict};
+use occamy_stats::{FlowClass, FlowRecord, FlowSet};
+
+/// Parameters for adding a transport flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowDesc {
+    /// Sender host.
+    pub src: usize,
+    /// Receiver host.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Start time.
+    pub start_ps: Ps,
+    /// Switch scheduling class.
+    pub prio: u8,
+    /// Congestion control.
+    pub cc: CcAlgo,
+    /// Incast query id, if this is a query-response flow.
+    pub query: Option<u64>,
+    /// Query-class traffic for metric slicing.
+    pub is_query: bool,
+}
+
+/// Parameters for adding a raw CBR source.
+#[derive(Debug, Clone, Copy)]
+pub struct CbrDesc {
+    /// Emitting host.
+    pub host: usize,
+    /// Destination host.
+    pub dst: usize,
+    /// Emission rate in bits/s.
+    pub rate_bps: u64,
+    /// Payload bytes per packet.
+    pub pkt_len: u32,
+    /// Switch scheduling class.
+    pub prio: u8,
+    /// First emission.
+    pub start_ps: Ps,
+    /// Emission stops at this time.
+    pub stop_ps: Ps,
+    /// Total payload budget (burst size); `None` = unbounded.
+    pub budget_bytes: Option<u64>,
+}
+
+/// The simulation world.
+pub struct World {
+    /// Current simulation time.
+    pub now: Ps,
+    events: EventQueue,
+    /// Global configuration.
+    pub cfg: SimConfig,
+    /// Hosts, indexed by host id.
+    pub hosts: Vec<Host>,
+    /// Switches, indexed by switch id.
+    pub switches: Vec<Switch>,
+    /// All transport flows ever added.
+    pub flows: Vec<FlowState>,
+    /// All CBR sources ever added.
+    pub cbrs: Vec<CbrSource>,
+    /// Collected measurements.
+    pub metrics: Metrics,
+}
+
+impl World {
+    /// Creates a world from pre-built hosts and switches (see
+    /// [`crate::topology`] for builders).
+    pub fn new(cfg: SimConfig, hosts: Vec<Host>, switches: Vec<Switch>) -> Self {
+        World {
+            now: 0,
+            events: EventQueue::new(),
+            cfg,
+            hosts,
+            switches,
+            flows: Vec::new(),
+            cbrs: Vec::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Workload injection
+    // ---------------------------------------------------------------
+
+    /// Adds a transport flow; it starts automatically at its start time.
+    pub fn add_flow(&mut self, d: FlowDesc) -> FlowId {
+        let id = self.flows.len() as FlowId;
+        let mut f = FlowState::new(
+            id,
+            d.src as u32,
+            d.dst as u32,
+            d.bytes,
+            d.prio,
+            d.start_ps,
+            d.cc,
+            &self.cfg,
+        );
+        f.query = d.query;
+        f.is_query = d.is_query;
+        self.flows.push(f);
+        self.events.push(d.start_ps, Event::FlowStart { flow: id });
+        id
+    }
+
+    /// Adds a raw CBR source; returns its index (used to read
+    /// [`Metrics::cbr`] counters).
+    pub fn add_cbr(&mut self, d: CbrDesc) -> usize {
+        let id = self.cbrs.len();
+        self.cbrs.push(CbrSource {
+            id,
+            host: d.host,
+            dst: d.dst,
+            rate_bps: d.rate_bps,
+            pkt_len: d.pkt_len,
+            prio: d.prio,
+            start_ps: d.start_ps,
+            stop_ps: d.stop_ps,
+            budget_bytes: d.budget_bytes,
+            emitted_bytes: 0,
+        });
+        self.metrics.cbr.push(CbrCounters::default());
+        self.events.push(d.start_ps, Event::CbrEmit { source: id });
+        id
+    }
+
+    /// Registers a periodic queue-length sampler over one partition
+    /// (paper Fig. 11 time series).
+    pub fn add_queue_sampler(&mut self, switch: usize, partition: usize, interval: Ps, until: Ps) {
+        self.events.push(
+            0,
+            Event::Sample {
+                switch,
+                partition,
+                interval,
+                until,
+            },
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // Execution
+    // ---------------------------------------------------------------
+
+    /// Executes one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        match ev {
+            Event::Arrive { node, pkt } => match node {
+                NodeId::Host(h) => self.host_rx(h, pkt),
+                NodeId::Switch(s) => self.switch_rx(s, pkt),
+            },
+            Event::PortFree { switch, port } => {
+                self.switches[switch].ports[port].tx_busy = false;
+                self.port_pump(switch, port);
+            }
+            Event::HostTxFree { host } => {
+                self.hosts[host].tx_busy = false;
+                self.host_pump(host);
+            }
+            Event::ExpelRetry { switch, partition } => {
+                self.switches[switch].partitions[partition].expel_armed = false;
+                self.try_expel(switch, partition);
+            }
+            Event::Rto { flow } => self.rto_fire(flow),
+            Event::FlowStart { flow } => {
+                let f = flow as usize;
+                self.flows[f].started = true;
+                let h = self.flows[f].src as usize;
+                self.hosts[h].mark_ready(&mut self.flows, flow);
+                self.host_pump(h);
+            }
+            Event::CbrEmit { source } => self.cbr_emit(source),
+            Event::Sample {
+                switch,
+                partition,
+                interval,
+                until,
+            } => self.sample(switch, partition, interval, until),
+        }
+        true
+    }
+
+    /// Runs until simulated time `t` (events at exactly `t` included).
+    pub fn run_until(&mut self, t: Ps) {
+        while let Some(next) = self.events.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs until the event queue drains or `limit` is reached.
+    pub fn run_to_completion(&mut self, limit: Ps) {
+        while let Some(next) = self.events.peek_time() {
+            if next > limit {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Whether all transport flows completed.
+    pub fn all_flows_done(&self) -> bool {
+        self.flows.iter().all(|f| f.done())
+    }
+
+    /// Exports flow completion records for analysis.
+    pub fn flow_records(&self) -> FlowSet {
+        let mut set = FlowSet::new();
+        for f in &self.flows {
+            set.push(FlowRecord {
+                id: f.id as u64,
+                bytes: f.bytes,
+                start_ps: f.start_ps,
+                end_ps: f.end_ps,
+                class: if f.is_query {
+                    FlowClass::Query
+                } else {
+                    FlowClass::Background
+                },
+                query: f.query,
+            });
+        }
+        set
+    }
+
+    // ---------------------------------------------------------------
+    // Hosts
+    // ---------------------------------------------------------------
+
+    fn host_rx(&mut self, h: usize, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::Ack => {
+                let f = pkt.flow as usize;
+                let completed =
+                    self.flows[f].on_ack(pkt.ack_seq, pkt.ece, pkt.ts, self.now, &self.cfg);
+                if !completed {
+                    self.arm_rto(pkt.flow);
+                    if self.flows[f].can_send() {
+                        self.hosts[h].mark_ready(&mut self.flows, pkt.flow);
+                        self.host_pump(h);
+                    }
+                }
+            }
+            PacketKind::Data => {
+                self.metrics.delivered_pkts += 1;
+                self.metrics.delivered_bytes += pkt.len as u64;
+                let f = pkt.flow as usize;
+                let ack_seq = self.flows[f].on_data(pkt.seq, pkt.len as u64);
+                let sender = self.flows[f].src;
+                let ack = Packet::ack(
+                    pkt.flow, h as u32, sender, ack_seq, pkt.ce, pkt.prio, pkt.ts,
+                );
+                self.hosts[h].ack_queue.push_back(ack);
+                self.host_pump(h);
+            }
+            PacketKind::Raw => {
+                let c = &mut self.metrics.cbr[pkt.flow as usize];
+                c.rcvd_pkts += 1;
+                c.rcvd_bytes += pkt.len as u64;
+                self.metrics.delivered_pkts += 1;
+                self.metrics.delivered_bytes += pkt.len as u64;
+            }
+        }
+    }
+
+    fn host_pump(&mut self, h: usize) {
+        if self.hosts[h].tx_busy {
+            return;
+        }
+        let now = self.now;
+        let Some(pkt) = self.hosts[h].next_packet(&mut self.flows, now, &self.cfg) else {
+            return;
+        };
+        if pkt.kind == PacketKind::Data {
+            self.arm_rto(pkt.flow);
+        }
+        if pkt.kind == PacketKind::Raw {
+            let c = &mut self.metrics.cbr[pkt.flow as usize];
+            c.sent_pkts += 1;
+            c.sent_bytes += pkt.len as u64;
+        }
+        let link = self.hosts[h].link;
+        let ser = tx_time_ps(pkt.wire_bytes(), link.rate_bps);
+        self.hosts[h].tx_busy = true;
+        self.events.push(now + ser, Event::HostTxFree { host: h });
+        self.events.push(
+            now + ser + link.prop_ps,
+            Event::Arrive {
+                node: NodeId::Switch(link.to_switch),
+                pkt,
+            },
+        );
+    }
+
+    fn arm_rto(&mut self, flow: FlowId) {
+        let f = &mut self.flows[flow as usize];
+        if !f.outstanding() {
+            return;
+        }
+        let deadline = self.now + f.timer_delay(&self.cfg);
+        f.rto_deadline = deadline;
+        if !f.timer_armed {
+            f.timer_armed = true;
+            self.events.push(deadline, Event::Rto { flow });
+        }
+    }
+
+    fn rto_fire(&mut self, flow: FlowId) {
+        let f = &mut self.flows[flow as usize];
+        f.timer_armed = false;
+        if f.done() || !f.outstanding() {
+            return;
+        }
+        if self.now < f.rto_deadline {
+            // Deadline was pushed forward by ACK activity: resleep.
+            f.timer_armed = true;
+            let at = f.rto_deadline;
+            self.events.push(at, Event::Rto { flow });
+            return;
+        }
+        // Tail-loss probe first (no congestion-state change), full RTO
+        // once the probe budget is exhausted.
+        f.on_timer(&self.cfg);
+        self.arm_rto(flow);
+        let h = self.flows[flow as usize].src as usize;
+        self.hosts[h].mark_ready(&mut self.flows, flow);
+        self.host_pump(h);
+    }
+
+    fn cbr_emit(&mut self, source: usize) {
+        let now = self.now;
+        if !self.cbrs[source].active(now) {
+            return;
+        }
+        let pkt = self.cbrs[source].emit(now);
+        let h = self.cbrs[source].host;
+        self.hosts[h].cbr_queue.push_back(pkt);
+        self.host_pump(h);
+        let next = now + self.cbrs[source].emit_interval();
+        if self.cbrs[source].active(next) {
+            self.events.push(next, Event::CbrEmit { source });
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Switches
+    // ---------------------------------------------------------------
+
+    fn switch_rx(&mut self, s: usize, mut pkt: Packet) {
+        let now_ns = ps_to_ns(self.now);
+        let sw = &mut self.switches[s];
+        let port = sw.routing.port_for(pkt.dst as usize, pkt.flow);
+        let class = (pkt.prio as usize).min(sw.classes - 1);
+        let pa = sw.port_partition[port];
+        let qidx = sw.queue_index(port, class);
+        let wire = pkt.wire_bytes();
+        let part = &mut sw.partitions[pa];
+
+        match part.bm.admit(qidx, wire, &part.state) {
+            Verdict::Accept => {
+                self.enqueue_packet(s, port, class, pa, qidx, pkt);
+                self.port_pump(s, port);
+                if self.switches[s].partitions[pa].reactive {
+                    self.try_expel(s, pa);
+                }
+            }
+            Verdict::Evict => {
+                // Pushout: synchronously evict from the longest queue
+                // until the newcomer fits (paper §2.2).
+                while self.switches[s].partitions[pa].state.free() < wire {
+                    let victim = {
+                        let part = &mut self.switches[s].partitions[pa];
+                        part.bm.select_victim(&part.state)
+                    };
+                    let Some(v) = victim else { break };
+                    if !self.head_drop(s, pa, v, now_ns) {
+                        break;
+                    }
+                    self.metrics.drops.pushout_evictions += 1;
+                }
+                if self.switches[s].partitions[pa].state.free() >= wire {
+                    self.enqueue_packet(s, port, class, pa, qidx, pkt);
+                    self.port_pump(s, port);
+                } else {
+                    self.record_admission_drop(s, pa, false);
+                }
+            }
+            Verdict::Drop(reason) => {
+                let threshold = reason == DropReason::OverThreshold;
+                self.record_admission_drop(s, pa, threshold);
+                if self.switches[s].partitions[pa].reactive {
+                    self.try_expel(s, pa);
+                }
+                let _ = &mut pkt; // dropped
+            }
+        }
+    }
+
+    fn enqueue_packet(
+        &mut self,
+        s: usize,
+        port: usize,
+        class: usize,
+        pa: usize,
+        qidx: usize,
+        mut pkt: Packet,
+    ) {
+        let now_ns = ps_to_ns(self.now);
+        let wire = pkt.wire_bytes();
+        let ecn_k = self.cfg.ecn_k_bytes;
+        let sw = &mut self.switches[s];
+        let part = &mut sw.partitions[pa];
+        part.state
+            .enqueue(qidx, wire)
+            .expect("BM admitted beyond capacity");
+        part.bm.on_enqueue(qidx, wire, now_ns, &part.state);
+        sw.write_rate.record(wire, now_ns);
+        // DCTCP marking: CE when the instantaneous queue exceeds K.
+        if pkt.kind == PacketKind::Data && part.state.queue_len(qidx) > ecn_k {
+            pkt.ce = true;
+        }
+        sw.ports[port].queues[class].push_back(pkt);
+    }
+
+    fn record_admission_drop(&mut self, s: usize, pa: usize, threshold: bool) {
+        let now_ns = ps_to_ns(self.now);
+        let sw = &self.switches[s];
+        let part = &sw.partitions[pa];
+        let util = part.state.total() as f64 / part.state.capacity() as f64;
+        let membw = sw.membw_util(now_ns);
+        self.metrics.record_drop(threshold, util, membw);
+    }
+
+    /// Removes the head packet of partition-local queue `qidx` without
+    /// transmitting it. Returns `false` if the queue was empty.
+    fn head_drop(&mut self, s: usize, pa: usize, qidx: usize, now_ns: u64) -> bool {
+        let (port, class) = self.switches[s].queue_location(pa, qidx);
+        let sw = &mut self.switches[s];
+        let Some(pkt) = sw.ports[port].queues[class].pop_front() else {
+            return false;
+        };
+        let wire = pkt.wire_bytes();
+        let part = &mut sw.partitions[pa];
+        part.state
+            .dequeue(qidx, wire)
+            .expect("queue accounting out of sync");
+        part.bm.on_dequeue(qidx, wire, now_ns, &part.state);
+        // A head drop costs PD/cell-pointer bandwidth, which the token
+        // bucket charges, but never touches the cell data memory, so the
+        // read-rate estimator (data path) is not updated (paper §3.2).
+        true
+    }
+
+    fn port_pump(&mut self, s: usize, port: usize) {
+        if self.switches[s].ports[port].tx_busy {
+            return;
+        }
+        let now = self.now;
+        let now_ns = ps_to_ns(now);
+        let cell = self.cfg.cell_bytes;
+        let sw = &mut self.switches[s];
+        let p = &mut sw.ports[port];
+        let Some(class) = p.sched.pick(&p.queues) else {
+            return;
+        };
+        let pkt = p.queues[class]
+            .pop_front()
+            .expect("scheduler picked an empty queue");
+        let wire = pkt.wire_bytes();
+        let pa = sw.port_partition[port];
+        let qidx = sw.queue_index(port, class);
+        let part = &mut sw.partitions[pa];
+        part.state
+            .dequeue(qidx, wire)
+            .expect("queue accounting out of sync");
+        part.bm.on_dequeue(qidx, wire, now_ns, &part.state);
+        // TX has absolute priority on memory bandwidth: it may drive the
+        // expulsion token balance negative (fixed-priority arbiter, §4.3).
+        part.tb.force_take(wire.div_ceil(cell) as f64, now_ns);
+        sw.read_rate.record(wire, now_ns);
+        let link = sw.ports[port].link;
+        sw.ports[port].tx_busy = true;
+        let ser = tx_time_ps(wire, link.rate_bps);
+        self.events
+            .push(now + ser, Event::PortFree { switch: s, port });
+        self.events.push(
+            now + ser + link.prop_ps,
+            Event::Arrive { node: link.to, pkt },
+        );
+    }
+
+    /// Occamy's reactive expulsion process: head-drop from over-allocated
+    /// queues while redundant memory bandwidth is available.
+    fn try_expel(&mut self, s: usize, pa: usize) {
+        if !self.switches[s].partitions[pa].reactive {
+            return;
+        }
+        let now_ns = ps_to_ns(self.now);
+        let cell = self.cfg.cell_bytes;
+        loop {
+            let victim = {
+                let part = &mut self.switches[s].partitions[pa];
+                part.bm.select_victim(&part.state)
+            };
+            let Some(v) = victim else { return };
+            // Cost of expelling the head packet, in cells.
+            let (port, class) = self.switches[s].queue_location(pa, v);
+            let Some(head_wire) = self.switches[s].ports[port].queues[class]
+                .front()
+                .map(|p| p.wire_bytes())
+            else {
+                return;
+            };
+            let cells = head_wire.div_ceil(cell) as f64;
+            let part = &mut self.switches[s].partitions[pa];
+            if part.tb.try_take(cells, now_ns) {
+                self.head_drop(s, pa, v, now_ns);
+                self.metrics.drops.head_drops += 1;
+            } else {
+                // Not enough redundant bandwidth now: retry once the
+                // bucket has refilled enough for this packet. A `None`
+                // means the request can never be satisfied (zero-rate
+                // ablation or a cap below one packet): leave disarmed and
+                // let the next enqueue re-evaluate.
+                if !part.expel_armed {
+                    if let Some(wait_ns) = part.tb.time_until(cells, now_ns) {
+                        part.expel_armed = true;
+                        self.events.push(
+                            self.now.saturating_add(wait_ns.max(1).saturating_mul(NS)),
+                            Event::ExpelRetry {
+                                switch: s,
+                                partition: pa,
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    fn sample(&mut self, switch: usize, partition: usize, interval: Ps, until: Ps) {
+        let part = &self.switches[switch].partitions[partition];
+        let qlens: Vec<u64> = part.state.iter().map(|(_, l)| l).collect();
+        let thresholds: Vec<u64> = (0..part.state.num_queues())
+            .map(|q| part.bm.threshold(q, &part.state))
+            .collect();
+        self.metrics.queue_samples.push(QueueSample {
+            t: self.now,
+            switch,
+            partition,
+            qlens,
+            thresholds,
+        });
+        if self.now + interval <= until {
+            self.events.push(
+                self.now + interval,
+                Event::Sample {
+                    switch,
+                    partition,
+                    interval,
+                    until,
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! End-to-end physics checks for the simulator.
+//!
+//! These tests pin down the behaviors every experiment relies on:
+//! line-rate throughput, DCTCP's ECN-held queues, fair sharing, incast
+//! loss behavior, Occamy's reactive expulsion, and determinism.
+
+use occamy_core::BmKind;
+use occamy_sim::topology::{single_switch, BmSpec, SchedKind, SingleSwitchCfg};
+use occamy_sim::{tx_time_ps, CbrDesc, CcAlgo, FlowDesc, SimConfig, World, MS, SEC, US};
+
+const G10: u64 = 10_000_000_000;
+
+fn testbed(n: usize, bm: BmSpec, buffer: u64) -> World {
+    single_switch(SingleSwitchCfg {
+        host_rates_bps: vec![G10; n],
+        prop_ps: 1 * US, // 4 µs base RTT through the switch
+        buffer_bytes: buffer,
+        classes: 1,
+        bm,
+        sched: SchedKind::Fifo,
+        sim: SimConfig {
+            min_rto: 5 * MS,
+            ..SimConfig::default()
+        },
+    })
+}
+
+fn flow(src: usize, dst: usize, bytes: u64, start: u64) -> FlowDesc {
+    FlowDesc {
+        src,
+        dst,
+        bytes,
+        start_ps: start,
+        prio: 0,
+        cc: CcAlgo::Dctcp,
+        query: None,
+        is_query: false,
+    }
+}
+
+#[test]
+fn single_flow_achieves_near_line_rate() {
+    let mut w = testbed(2, BmSpec::uniform(BmKind::Dt, 1.0), 400_000);
+    let bytes = 10_000_000u64;
+    w.add_flow(flow(0, 1, bytes, 0));
+    w.run_to_completion(SEC);
+    assert!(w.all_flows_done(), "flow did not finish");
+    let fct = w.flows[0].end_ps.unwrap();
+    // Ideal: payload + per-MSS header overhead at 10 Gbps, plus ~2 RTT of
+    // ramp-up. Require ≥ 85% of line rate.
+    let ideal = tx_time_ps(bytes + (bytes / 1460 + 1) * 40, G10);
+    assert!(
+        fct < ideal * 115 / 100,
+        "FCT {} ps vs ideal {} ps — below 85% of line rate",
+        fct,
+        ideal
+    );
+    // Nothing lost in a single-flow scenario with DCTCP.
+    assert_eq!(w.metrics.drops.total_losses(), 0, "unexpected drops");
+}
+
+#[test]
+fn dctcp_holds_queue_without_drops() {
+    // Two senders into one receiver at 10 G: persistent congestion. With
+    // DCTCP + ECN (K = 97.5 KB) and a 400 KB buffer, there must be no
+    // packet loss and both flows must finish.
+    let mut w = testbed(3, BmSpec::uniform(BmKind::Dt, 1.0), 400_000);
+    w.add_flow(flow(0, 2, 5_000_000, 0));
+    w.add_flow(flow(1, 2, 5_000_000, 0));
+    w.run_to_completion(SEC);
+    assert!(w.all_flows_done());
+    // A handful of drops can occur while slow start races the falling DT
+    // threshold; steady state must be loss-free (≈7000 packets total).
+    assert!(
+        w.metrics.drops.total_losses() < 10,
+        "DCTCP steady state should be essentially loss-free, got {}",
+        w.metrics.drops.total_losses()
+    );
+}
+
+#[test]
+fn two_flows_share_the_bottleneck_fairly() {
+    let mut w = testbed(3, BmSpec::uniform(BmKind::Dt, 1.0), 400_000);
+    w.add_flow(flow(0, 2, 8_000_000, 0));
+    w.add_flow(flow(1, 2, 8_000_000, 0));
+    w.run_to_completion(SEC);
+    let f0 = w.flows[0].end_ps.unwrap() as f64;
+    let f1 = w.flows[1].end_ps.unwrap() as f64;
+    let ratio = f0.max(f1) / f0.min(f1);
+    assert!(ratio < 1.3, "unfair completion times: {f0} vs {f1}");
+    // Equal flows sharing 10 G: each sees ~5 G, so the FCT should be
+    // roughly twice the solo FCT.
+    let solo = tx_time_ps(8_000_000, G10) as f64;
+    assert!(
+        f0.max(f1) > 1.6 * solo,
+        "flows finished implausibly fast for a shared bottleneck"
+    );
+}
+
+#[test]
+fn severe_incast_causes_drops_under_dt() {
+    // 16 servers blast one receiver simultaneously with far more data
+    // than buffer: drops are inevitable; every flow must still complete
+    // via retransmissions.
+    let mut w = testbed(17, BmSpec::uniform(BmKind::Dt, 1.0), 200_000);
+    for s in 0..16 {
+        w.add_flow(flow(s, 16, 400_000, 0));
+    }
+    w.run_to_completion(10 * SEC);
+    assert!(w.all_flows_done(), "incast flows wedged");
+    assert!(
+        w.metrics.drops.total_losses() > 0,
+        "a 6.4 MB incast into 200 KB cannot be lossless"
+    );
+}
+
+#[test]
+fn conservation_of_packets() {
+    let mut w = testbed(5, BmSpec::uniform(BmKind::Dt, 0.5), 100_000);
+    for s in 0..4 {
+        w.add_flow(flow(s, 4, 300_000, 0));
+    }
+    w.run_to_completion(10 * SEC);
+    assert!(w.all_flows_done());
+    // Every queue must drain to zero at quiescence.
+    for sw in &w.switches {
+        for part in &sw.partitions {
+            assert_eq!(part.state.total(), 0, "buffer not drained");
+        }
+        for port in &sw.ports {
+            assert!(port.queues.iter().all(|q| q.is_empty()));
+        }
+    }
+    // Every byte of every flow was delivered at least once.
+    let payload: u64 = w.flows.iter().map(|f| f.bytes).sum();
+    assert!(w.metrics.delivered_bytes >= payload);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut w = testbed(5, BmSpec::uniform(BmKind::Occamy, 8.0), 150_000);
+        for s in 0..4 {
+            w.add_flow(flow(s, 4, 500_000, (s as u64) * 10 * US));
+        }
+        w.run_to_completion(10 * SEC);
+        (
+            w.flows.iter().map(|f| f.end_ps).collect::<Vec<_>>(),
+            w.metrics.drops.total_losses(),
+            w.metrics.delivered_pkts,
+        )
+    };
+    assert_eq!(run(), run(), "identical runs diverged");
+}
+
+#[test]
+fn occamy_expels_over_allocated_queue_for_newcomer() {
+    // Fig. 11 in miniature: a long-lived CBR stream entrenches queue 0;
+    // a burst then arrives at queue 1. With Occamy (α = 8) the burst must
+    // experience far fewer drops than with DT (α = 8), because Occamy
+    // head-drops the entrenched queue to make room.
+    let scenario = |bm: BmSpec| {
+        let mut w = single_switch(SingleSwitchCfg {
+            // Sender ports are 100 G, receiver ports 10 G — the paper's
+            // P4 testbed shape.
+            host_rates_bps: vec![100_000_000_000, 100_000_000_000, G10, G10],
+            prop_ps: 1 * US,
+            buffer_bytes: 1_200_000,
+            classes: 1,
+            bm,
+            sched: SchedKind::Fifo,
+            sim: SimConfig::default(),
+        });
+        // Long-lived: host 0 → host 2 at 100 G from t = 0.
+        w.add_cbr(CbrDesc {
+            host: 0,
+            dst: 2,
+            rate_bps: 100_000_000_000,
+            pkt_len: 1_460,
+            prio: 0,
+            start_ps: 0,
+            stop_ps: 4 * MS,
+            budget_bytes: None,
+        });
+        // Burst: host 1 → host 3, 600 KB at 100 G, arriving at 2 ms.
+        let burst = w.add_cbr(CbrDesc {
+            host: 1,
+            dst: 3,
+            rate_bps: 100_000_000_000,
+            pkt_len: 1_460,
+            prio: 0,
+            start_ps: 2 * MS,
+            stop_ps: 4 * MS,
+            budget_bytes: Some(600_000),
+        });
+        w.run_to_completion(8 * MS);
+        w.metrics.cbr[burst].loss_rate()
+    };
+    let occamy_loss = scenario(BmSpec::uniform(BmKind::Occamy, 8.0));
+    let dt_loss = scenario(BmSpec::uniform(BmKind::Dt, 8.0));
+    assert!(
+        occamy_loss < dt_loss * 0.5 || (occamy_loss == 0.0 && dt_loss > 0.0),
+        "Occamy burst loss {occamy_loss:.3} not ≪ DT {dt_loss:.3}"
+    );
+}
+
+#[test]
+fn pushout_accepts_bursts_where_dt_tail_drops() {
+    let scenario = |bm: BmSpec| {
+        let mut w = testbed(3, bm, 100_000);
+        // Entrench queue toward host 2, then burst toward host 1.
+        w.add_cbr(CbrDesc {
+            host: 0,
+            dst: 2,
+            rate_bps: G10,
+            pkt_len: 1_460,
+            prio: 0,
+            start_ps: 0,
+            stop_ps: 10 * MS,
+            budget_bytes: None,
+        });
+        let burst = w.add_cbr(CbrDesc {
+            host: 1,
+            dst: 2,
+            rate_bps: G10,
+            pkt_len: 1_460,
+            prio: 0,
+            start_ps: 5 * MS,
+            stop_ps: 10 * MS,
+            budget_bytes: Some(80_000),
+        });
+        w.run_to_completion(20 * MS);
+        w.metrics.cbr[burst].loss_rate()
+    };
+    let pushout = scenario(BmSpec::uniform(BmKind::Pushout, 1.0));
+    let dt = scenario(BmSpec::uniform(BmKind::Dt, 0.25));
+    assert!(
+        pushout <= dt,
+        "Pushout loss {pushout:.3} should not exceed DT {dt:.3}"
+    );
+}
+
+#[test]
+fn strict_priority_protects_high_class() {
+    // Two classes into one receiver port; class 0 has strict priority.
+    let mut w = single_switch(SingleSwitchCfg {
+        host_rates_bps: vec![G10; 3],
+        prop_ps: 1 * US,
+        buffer_bytes: 400_000,
+        classes: 2,
+        bm: BmSpec {
+            kind: BmKind::Dt,
+            alpha_per_class: vec![8.0, 1.0],
+        },
+        sched: SchedKind::StrictPriority,
+        sim: SimConfig {
+            min_rto: 5 * MS,
+            ..SimConfig::default()
+        },
+    });
+    // Low-priority long flow, then a high-priority short flow.
+    let mut lp = flow(0, 2, 20_000_000, 0);
+    lp.prio = 1;
+    w.add_flow(lp);
+    let mut hp = flow(1, 2, 500_000, 5 * MS);
+    hp.prio = 0;
+    w.add_flow(hp);
+    w.run_to_completion(SEC);
+    assert!(w.all_flows_done());
+    let hp_fct = w.flows[1].end_ps.unwrap() - w.flows[1].start_ps;
+    // The HP flow gets nearly the full 10 G despite the LP backlog:
+    // 500 KB ≈ 412 µs at line rate; allow ~3×.
+    assert!(
+        hp_fct < 1_300 * US,
+        "high-priority FCT {hp_fct} ps suggests no priority isolation"
+    );
+}

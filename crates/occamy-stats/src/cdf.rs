@@ -1,0 +1,140 @@
+//! Empirical cumulative distribution functions (paper Fig. 7 style).
+
+/// An empirical CDF over scalar samples.
+///
+/// Used to reproduce Fig. 7 (CDF of buffer / memory-bandwidth utilization
+/// at packet-drop instants): collect one sample per drop, then query
+/// `fraction_below` or export evenly spaced points for plotting.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`; `None` when empty.
+    pub fn fraction_below(&mut self, x: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&s| s <= x);
+        Some(idx as f64 / self.samples.len() as f64)
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Exports `(value, cumulative_fraction)` points at each distinct
+    /// sample, suitable for plotting a step CDF.
+    pub fn points(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let mut out = Vec::new();
+        for (i, &v) in self.samples.iter().enumerate() {
+            let is_last_of_value = i + 1 == n || self.samples[i + 1] > v;
+            if is_last_of_value {
+                out.push((v, (i + 1) as f64 / n as f64));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_below(1.0), None);
+        assert_eq!(c.quantile(0.5), None);
+        assert!(c.points().is_empty());
+    }
+
+    #[test]
+    fn fraction_below_is_monotone() {
+        let mut c = Cdf::new();
+        for v in [0.1, 0.5, 0.5, 0.9] {
+            c.add(v);
+        }
+        assert_eq!(c.fraction_below(0.0), Some(0.0));
+        assert_eq!(c.fraction_below(0.1), Some(0.25));
+        assert_eq!(c.fraction_below(0.5), Some(0.75));
+        assert_eq!(c.fraction_below(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantiles_match_sorted_ranks() {
+        let mut c = Cdf::new();
+        for v in 1..=10 {
+            c.add(v as f64);
+        }
+        assert_eq!(c.quantile(0.5), Some(5.0));
+        assert_eq!(c.quantile(0.99), Some(10.0));
+        assert_eq!(c.quantile(0.1), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn points_deduplicate_values() {
+        let mut c = Cdf::new();
+        for v in [2.0, 1.0, 2.0, 3.0] {
+            c.add(v);
+        }
+        let pts = c.points();
+        assert_eq!(pts, vec![(1.0, 0.25), (2.0, 0.75), (3.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_range_checked() {
+        let mut c = Cdf::new();
+        c.add(1.0);
+        let _ = c.quantile(1.5);
+    }
+}

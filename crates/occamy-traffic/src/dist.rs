@@ -1,0 +1,183 @@
+//! Empirical flow-size distributions (inverse-transform sampling).
+
+use rand::Rng;
+
+/// An empirical CDF defined by `(value, cumulative_probability)` points
+/// with linear interpolation between points.
+///
+/// Sampling uses inverse-transform: draw `u ~ U(0,1)`, find the CDF
+/// segment containing `u`, and interpolate the value. This is how ns-3
+/// experiment scripts consume the published workload CDF files.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a distribution from `(value, cdf)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, probabilities are not
+    /// non-decreasing in `[0, 1]` ending at 1, or values decrease.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        let mut prev = &points[0];
+        assert!(prev.1 >= 0.0, "CDF must start at probability >= 0");
+        for p in &points[1..] {
+            assert!(p.0 >= prev.0, "values must be non-decreasing");
+            assert!(p.1 >= prev.1, "probabilities must be non-decreasing");
+            prev = p;
+        }
+        assert!(
+            (points.last().unwrap().1 - 1.0).abs() < 1e-9,
+            "CDF must end at probability 1"
+        );
+        EmpiricalCdf { points }
+    }
+
+    /// Samples one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.inverse(u)
+    }
+
+    /// Samples one value and rounds to at least 1 byte.
+    pub fn sample_bytes<R: Rng>(&self, rng: &mut R) -> u64 {
+        (self.sample(rng).round() as u64).max(1)
+    }
+
+    /// Inverse CDF at probability `u` (clamped to the support).
+    pub fn inverse(&self, u: f64) -> f64 {
+        let u = u.clamp(self.points[0].1, 1.0);
+        for w in self.points.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if u <= p1 {
+                if p1 - p0 < 1e-12 {
+                    return v1;
+                }
+                return v0 + (v1 - v0) * (u - p0) / (p1 - p0);
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// Mean of the distribution (piecewise-linear integral).
+    pub fn mean(&self) -> f64 {
+        let mut m = self.points[0].0 * self.points[0].1;
+        for w in self.points.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            m += (v0 + v1) / 2.0 * (p1 - p0);
+        }
+        m
+    }
+
+    /// Smallest and largest representable values.
+    pub fn support(&self) -> (f64, f64) {
+        (self.points[0].0, self.points.last().unwrap().0)
+    }
+}
+
+/// The web-search flow-size distribution (DCTCP paper \[5\]), in bytes.
+///
+/// These are the canonical CDF points used by the pFabric/HPCC/ABM
+/// lineage of simulation studies: ~60% of flows are under 133 KB but
+/// ~95% of bytes come from flows over 1 MB, giving the heavy-tailed mix
+/// that stresses shared buffers.
+pub fn web_search() -> EmpiricalCdf {
+    EmpiricalCdf::new(vec![
+        (1.0, 0.0),
+        (6_000.0, 0.15),
+        (13_000.0, 0.20),
+        (19_000.0, 0.30),
+        (33_000.0, 0.40),
+        (53_000.0, 0.53),
+        (133_000.0, 0.60),
+        (667_000.0, 0.70),
+        (1_333_000.0, 0.80),
+        (3_333_000.0, 0.90),
+        (6_667_000.0, 0.97),
+        (20_000_000.0, 1.00),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inverse_interpolates() {
+        let cdf = EmpiricalCdf::new(vec![(0.0, 0.0), (100.0, 0.5), (200.0, 1.0)]);
+        assert_eq!(cdf.inverse(0.0), 0.0);
+        assert_eq!(cdf.inverse(0.25), 50.0);
+        assert_eq!(cdf.inverse(0.5), 100.0);
+        assert_eq!(cdf.inverse(0.75), 150.0);
+        assert_eq!(cdf.inverse(1.0), 200.0);
+    }
+
+    #[test]
+    fn mean_of_uniform_is_midpoint() {
+        let cdf = EmpiricalCdf::new(vec![(0.0, 0.0), (100.0, 1.0)]);
+        assert!((cdf.mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let cdf = web_search();
+        let (lo, hi) = cdf.support();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = cdf.sample(&mut rng);
+            assert!(v >= lo && v <= hi, "sample {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn web_search_empirical_mean_matches_analytic() {
+        let cdf = web_search();
+        let analytic = cdf.mean();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| cdf.sample(&mut rng)).sum();
+        let empirical = sum / n as f64;
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.05,
+            "empirical {empirical:.0} vs analytic {analytic:.0}"
+        );
+        // The distribution is heavy-tailed: mean around 1.1–1.2 MB.
+        assert!(analytic > 0.8e6 && analytic < 1.6e6, "mean {analytic}");
+    }
+
+    #[test]
+    fn web_search_is_heavy_tailed() {
+        let cdf = web_search();
+        // Median well under the mean.
+        let median = cdf.inverse(0.5);
+        assert!(median < cdf.mean() / 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "end at probability 1")]
+    fn cdf_must_reach_one() {
+        EmpiricalCdf::new(vec![(0.0, 0.0), (1.0, 0.9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn values_must_not_decrease() {
+        EmpiricalCdf::new(vec![(10.0, 0.0), (5.0, 1.0)]);
+    }
+
+    #[test]
+    fn sample_bytes_is_at_least_one() {
+        let cdf = EmpiricalCdf::new(vec![(0.0, 0.0), (0.4, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(cdf.sample_bytes(&mut rng) >= 1);
+        }
+    }
+}

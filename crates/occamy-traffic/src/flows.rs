@@ -1,0 +1,70 @@
+//! The flow specification emitted by all generators.
+
+/// Traffic class, mapping to switch queue priority and metric slicing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Incast query/response traffic.
+    Query,
+    /// Background traffic (web-search, all-to-all, all-reduce).
+    Background,
+}
+
+/// One application flow to inject into the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Sending host index.
+    pub src: usize,
+    /// Receiving host index.
+    pub dst: usize,
+    /// Payload bytes to transfer.
+    pub bytes: u64,
+    /// Start time in picoseconds.
+    pub start_ps: u64,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Incast query this flow answers, if any.
+    pub query: Option<u64>,
+}
+
+impl FlowSpec {
+    /// A background flow.
+    pub fn background(src: usize, dst: usize, bytes: u64, start_ps: u64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            start_ps,
+            class: TrafficClass::Background,
+            query: None,
+        }
+    }
+
+    /// A query-response flow belonging to query `query`.
+    pub fn query_response(src: usize, dst: usize, bytes: u64, start_ps: u64, query: u64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            start_ps,
+            class: TrafficClass::Query,
+            query: Some(query),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let b = FlowSpec::background(1, 2, 1_000, 5);
+        assert_eq!(b.class, TrafficClass::Background);
+        assert_eq!(b.query, None);
+        let q = FlowSpec::query_response(3, 4, 500, 9, 7);
+        assert_eq!(q.class, TrafficClass::Query);
+        assert_eq!(q.query, Some(7));
+        assert_eq!(q.src, 3);
+        assert_eq!(q.dst, 4);
+    }
+}

@@ -1,0 +1,228 @@
+//! Incast query workload (partition-aggregate, paper §6.2/§6.4).
+
+use crate::FlowSpec;
+use rand::Rng;
+
+/// One generated query: the client, its servers, and the response flows.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Query identity (also stamped on the response flows).
+    pub id: u64,
+    /// Aggregating client host.
+    pub client: usize,
+    /// Query issue time (ps).
+    pub start_ps: u64,
+    /// Response flows, one per server.
+    pub responses: Vec<FlowSpec>,
+}
+
+/// Incast query workload.
+///
+/// A client periodically (Poisson) sends a query to `fanout` distinct
+/// servers; each responds with `query_bytes / fanout`. QCT is the time
+/// from query issue until the last response completes. This reproduces
+/// the paper's traffic generator \[16\] setup: "a client on each host
+/// periodically sends queries to 16 servers on other hosts".
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// Host count.
+    pub n_hosts: usize,
+    /// Incast fan-out (number of servers per query).
+    pub fanout: usize,
+    /// Total response bytes per query.
+    pub query_bytes: u64,
+    /// Queries per second *per client host*.
+    pub qps_per_host: f64,
+}
+
+impl QueryWorkload {
+    /// Creates a workload description.
+    ///
+    /// When `fanout` exceeds `n_hosts − 1`, servers repeat cyclically —
+    /// the paper's DPDK testbed runs 2 server processes per host, so 16
+    /// responses come from 7 machines (§6.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fanout >= 1`, `n_hosts >= 2` and the rate is
+    /// positive.
+    pub fn new(n_hosts: usize, fanout: usize, query_bytes: u64, qps_per_host: f64) -> Self {
+        assert!(fanout >= 1, "fanout must be at least 1");
+        assert!(n_hosts >= 2, "need at least one possible server");
+        assert!(qps_per_host > 0.0, "query rate must be positive");
+        QueryWorkload {
+            n_hosts,
+            fanout,
+            query_bytes,
+            qps_per_host,
+        }
+    }
+
+    /// Generates all queries issued in `[0, duration_ps)`, across all
+    /// client hosts, sorted by start time.
+    pub fn generate<R: Rng>(&self, duration_ps: u64, rng: &mut R) -> Vec<QuerySpec> {
+        let mut queries = Vec::new();
+        let mut id = 0u64;
+        for client in 0..self.n_hosts {
+            for (t, qid) in self.arrival_times(duration_ps, &mut id, rng) {
+                queries.push(self.make_query(client, t, qid, rng));
+            }
+        }
+        queries.sort_by_key(|q| q.start_ps);
+        queries
+    }
+
+    /// Generates queries from a single fixed `client` (the buffer-choking
+    /// experiments pin both queries and background on one victim host).
+    pub fn generate_for_client<R: Rng>(
+        &self,
+        client: usize,
+        duration_ps: u64,
+        rng: &mut R,
+    ) -> Vec<QuerySpec> {
+        let mut id = 0u64;
+        self.arrival_times(duration_ps, &mut id, rng)
+            .into_iter()
+            .map(|(t, qid)| self.make_query(client, t, qid, rng))
+            .collect()
+    }
+
+    fn arrival_times<R: Rng>(
+        &self,
+        duration_ps: u64,
+        id: &mut u64,
+        rng: &mut R,
+    ) -> Vec<(u64, u64)> {
+        let mean_gap = 1e12 / self.qps_per_host;
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -mean_gap * u.ln();
+            if t >= duration_ps as f64 {
+                return out;
+            }
+            out.push((t as u64, *id));
+            *id += 1;
+        }
+    }
+
+    /// Generates a single query from `client` at `start_ps` (used by the
+    /// micro-benchmarks that need one burst at a precise instant).
+    pub fn make_query<R: Rng>(
+        &self,
+        client: usize,
+        start_ps: u64,
+        id: u64,
+        rng: &mut R,
+    ) -> QuerySpec {
+        // Shuffle the other hosts, then assign servers cyclically so a
+        // fanout above `n_hosts − 1` reuses hosts evenly (multiple server
+        // processes per machine).
+        let mut candidates: Vec<usize> = (0..self.n_hosts).filter(|&h| h != client).collect();
+        for k in 0..candidates.len().saturating_sub(1) {
+            let pick = rng.gen_range(k..candidates.len());
+            candidates.swap(k, pick);
+        }
+        let mut responses = Vec::with_capacity(self.fanout);
+        let per_server = (self.query_bytes / self.fanout as u64).max(1);
+        for k in 0..self.fanout {
+            responses.push(FlowSpec::query_response(
+                candidates[k % candidates.len()],
+                client,
+                per_server,
+                start_ps,
+                id,
+            ));
+        }
+        QuerySpec {
+            id,
+            client,
+            start_ps,
+            responses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn query_has_distinct_servers_and_split_bytes() {
+        let w = QueryWorkload::new(8, 5, 1_000_000, 10.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = w.make_query(3, 42, 7, &mut rng);
+        assert_eq!(q.responses.len(), 5);
+        assert!(q.responses.iter().all(|f| f.dst == 3));
+        assert!(q.responses.iter().all(|f| f.src != 3));
+        assert!(q.responses.iter().all(|f| f.bytes == 200_000));
+        assert!(q.responses.iter().all(|f| f.query == Some(7)));
+        let mut srcs: Vec<_> = q.responses.iter().map(|f| f.src).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        assert_eq!(srcs.len(), 5, "servers must be distinct");
+    }
+
+    #[test]
+    fn rate_scales_with_hosts_and_qps() {
+        let w = QueryWorkload::new(16, 4, 100_000, 200.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        // 16 hosts × 200 qps × 50 ms ⇒ ~160 queries.
+        let qs = w.generate(50_000_000_000, &mut rng);
+        assert!(
+            (120..=200).contains(&qs.len()),
+            "expected ~160 queries, got {}",
+            qs.len()
+        );
+        assert!(qs.windows(2).all(|p| p[0].start_ps <= p[1].start_ps));
+    }
+
+    #[test]
+    fn query_ids_are_unique() {
+        let w = QueryWorkload::new(6, 3, 60_000, 500.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let qs = w.generate(20_000_000_000, &mut rng);
+        let mut ids: Vec<_> = qs.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), qs.len());
+    }
+
+    #[test]
+    fn fanout_beyond_hosts_cycles_servers() {
+        let w = QueryWorkload::new(8, 16, 160_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = w.make_query(0, 0, 0, &mut rng);
+        assert_eq!(q.responses.len(), 16);
+        // Every other host serves at least twice (16 responses / 7 hosts).
+        for h in 1..8 {
+            let served = q.responses.iter().filter(|f| f.src == h).count();
+            assert!((2..=3).contains(&served), "host {h} served {served}");
+        }
+        assert!(q.responses.iter().all(|f| f.src != 0 && f.dst == 0));
+    }
+
+    #[test]
+    fn generate_for_client_pins_the_client() {
+        let w = QueryWorkload::new(8, 7, 70_000, 2_000.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let qs = w.generate_for_client(3, 10_000_000_000, &mut rng);
+        assert!(!qs.is_empty());
+        assert!(qs.iter().all(|q| q.client == 3));
+        assert!(qs
+            .iter()
+            .flat_map(|q| &q.responses)
+            .all(|f| f.dst == 3 && f.src != 3));
+    }
+
+    #[test]
+    fn tiny_queries_still_send_a_byte() {
+        let w = QueryWorkload::new(4, 3, 2, 1.0); // 2 bytes / 3 servers
+        let mut rng = StdRng::seed_from_u64(8);
+        let q = w.make_query(0, 0, 0, &mut rng);
+        assert!(q.responses.iter().all(|f| f.bytes == 1));
+    }
+}

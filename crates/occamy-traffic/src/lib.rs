@@ -1,0 +1,35 @@
+//! Workload generators for the Occamy experiments.
+//!
+//! Reimplements the traffic the paper evaluates with (§6):
+//!
+//! - [`EmpiricalCdf`] / [`web_search`] — flow sizes drawn from the
+//!   web-search distribution of the DCTCP paper \[5\];
+//! - [`BackgroundWorkload`] — Poisson flow arrivals between random host
+//!   pairs at a target network load;
+//! - [`QueryWorkload`] — incast queries: a client fans a request to `n`
+//!   servers, each responding with `query_size / n` bytes (QCT is the
+//!   completion of all responses);
+//! - [`all_to_all`] — every host sends an identical amount to every other
+//!   host (Fig. 18);
+//! - [`DoubleBinaryTree`] — the all-reduce flow pattern built from the two
+//!   complementary binary trees of Sanders et al. \[69\] (Fig. 19).
+//!
+//! Generators emit plain [`FlowSpec`] values: the simulator stays
+//! workload-agnostic and the bench harness wires the two together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allreduce;
+mod dist;
+mod flows;
+mod incast;
+mod patterns;
+mod poisson;
+
+pub use allreduce::DoubleBinaryTree;
+pub use dist::{web_search, EmpiricalCdf};
+pub use flows::{FlowSpec, TrafficClass};
+pub use incast::{QuerySpec, QueryWorkload};
+pub use patterns::{all_to_all, permutation};
+pub use poisson::BackgroundWorkload;

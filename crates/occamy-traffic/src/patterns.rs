@@ -1,0 +1,68 @@
+//! Deterministic traffic patterns: all-to-all and permutation (Fig. 18).
+
+use crate::FlowSpec;
+
+/// All-to-all: every host sends `bytes` to every other host, all starting
+/// at `start_ps` (paper §6.4: "every host sends the same amount of data
+/// to all other hosts").
+pub fn all_to_all(n_hosts: usize, bytes: u64, start_ps: u64) -> Vec<FlowSpec> {
+    let mut flows = Vec::with_capacity(n_hosts * (n_hosts - 1));
+    for src in 0..n_hosts {
+        for dst in 0..n_hosts {
+            if src != dst {
+                flows.push(FlowSpec::background(src, dst, bytes, start_ps));
+            }
+        }
+    }
+    flows
+}
+
+/// Permutation: host `i` sends `bytes` to host `(i + shift) mod n`.
+///
+/// A standard fully load-balanced pattern used as an ablation workload.
+///
+/// # Panics
+///
+/// Panics if `shift % n_hosts == 0` (every host would send to itself).
+pub fn permutation(n_hosts: usize, shift: usize, bytes: u64, start_ps: u64) -> Vec<FlowSpec> {
+    assert!(
+        shift % n_hosts != 0,
+        "shift must not map hosts onto themselves"
+    );
+    (0..n_hosts)
+        .map(|src| FlowSpec::background(src, (src + shift) % n_hosts, bytes, start_ps))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_counts_and_symmetry() {
+        let flows = all_to_all(4, 1_000, 7);
+        assert_eq!(flows.len(), 12);
+        assert!(flows.iter().all(|f| f.src != f.dst));
+        assert!(flows.iter().all(|f| f.bytes == 1_000 && f.start_ps == 7));
+        // Every host sends exactly n−1 flows and receives n−1 flows.
+        for h in 0..4 {
+            assert_eq!(flows.iter().filter(|f| f.src == h).count(), 3);
+            assert_eq!(flows.iter().filter(|f| f.dst == h).count(), 3);
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let flows = permutation(8, 3, 500, 0);
+        assert_eq!(flows.len(), 8);
+        let mut dsts: Vec<_> = flows.iter().map(|f| f.dst).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "onto themselves")]
+    fn zero_shift_rejected() {
+        permutation(4, 8, 1, 0);
+    }
+}

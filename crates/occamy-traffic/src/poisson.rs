@@ -1,0 +1,135 @@
+//! Poisson background traffic at a target network load.
+
+use crate::{EmpiricalCdf, FlowSpec};
+use rand::Rng;
+
+/// Background workload: flows between random host pairs, sizes from an
+/// empirical CDF, arrivals from a Poisson process calibrated to a target
+/// load (paper §6.2/§6.4: "we generate background flows according to a
+/// Poisson process; the sender and receiver are randomly chosen").
+///
+/// The aggregate arrival rate is
+/// `λ = load · n_hosts · host_rate / (8 · mean_flow_size)` flows/s, which
+/// makes the *offered* load on host access links equal to `load` (each
+/// flow consumes its size once at the sender and once at the receiver; a
+/// uniformly random pair pattern spreads both evenly).
+#[derive(Debug, Clone)]
+pub struct BackgroundWorkload {
+    /// Host count.
+    pub n_hosts: usize,
+    /// Access-link rate in bits/s.
+    pub host_rate_bps: u64,
+    /// Target load as a fraction of access capacity (1.2 = 120%).
+    pub load: f64,
+    /// Flow-size distribution.
+    pub sizes: EmpiricalCdf,
+}
+
+impl BackgroundWorkload {
+    /// Creates a workload description.
+    pub fn new(n_hosts: usize, host_rate_bps: u64, load: f64, sizes: EmpiricalCdf) -> Self {
+        assert!(n_hosts >= 2, "need at least two hosts");
+        assert!(load > 0.0, "load must be positive");
+        BackgroundWorkload {
+            n_hosts,
+            host_rate_bps,
+            load,
+            sizes,
+        }
+    }
+
+    /// Mean flow inter-arrival time in picoseconds (aggregate).
+    pub fn mean_interarrival_ps(&self) -> f64 {
+        let bytes_per_sec = self.load * self.n_hosts as f64 * self.host_rate_bps as f64 / 8.0;
+        let flows_per_sec = bytes_per_sec / self.sizes.mean();
+        1e12 / flows_per_sec
+    }
+
+    /// Generates all flows arriving in `[0, duration_ps)`.
+    pub fn generate<R: Rng>(&self, duration_ps: u64, rng: &mut R) -> Vec<FlowSpec> {
+        let mean_gap = self.mean_interarrival_ps();
+        let mut flows = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival via inverse transform.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -mean_gap * u.ln();
+            if t >= duration_ps as f64 {
+                break;
+            }
+            let src = rng.gen_range(0..self.n_hosts);
+            let mut dst = rng.gen_range(0..self.n_hosts - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            let bytes = self.sizes.sample_bytes(rng);
+            flows.push(FlowSpec::background(src, dst, bytes, t as u64));
+        }
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web_search;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(load: f64) -> BackgroundWorkload {
+        BackgroundWorkload::new(16, 10_000_000_000, load, web_search())
+    }
+
+    #[test]
+    fn offered_load_matches_target() {
+        let w = workload(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let duration_ps: u64 = 2_000_000_000_000; // 2 s
+        let flows = w.generate(duration_ps, &mut rng);
+        let total_bytes: u64 = flows.iter().map(|f| f.bytes).sum();
+        let offered = total_bytes as f64 * 8.0 / (duration_ps as f64 / 1e12) / (16.0 * 10e9);
+        assert!(
+            (offered - 0.5).abs() < 0.05,
+            "offered load {offered:.3} != 0.5"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_bounded() {
+        let w = workload(0.4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let flows = w.generate(50_000_000_000, &mut rng);
+        assert!(!flows.is_empty());
+        assert!(flows.windows(2).all(|p| p[0].start_ps <= p[1].start_ps));
+        assert!(flows.iter().all(|f| f.start_ps < 50_000_000_000));
+    }
+
+    #[test]
+    fn no_self_flows() {
+        let w = workload(1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let flows = w.generate(100_000_000_000, &mut rng);
+        assert!(flows.iter().all(|f| f.src != f.dst));
+        assert!(flows.iter().all(|f| f.src < 16 && f.dst < 16));
+    }
+
+    #[test]
+    fn higher_load_means_more_flows() {
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let low = workload(0.2).generate(500_000_000_000, &mut rng1).len();
+        let high = workload(0.9).generate(500_000_000_000, &mut rng2).len();
+        assert!(
+            high as f64 > low as f64 * 3.0,
+            "flows at 90% ({high}) vs 20% ({low})"
+        );
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let w = workload(0.4);
+        let a = w.generate(10_000_000_000, &mut StdRng::seed_from_u64(1));
+        let b = w.generate(10_000_000_000, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

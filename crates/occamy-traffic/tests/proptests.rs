@@ -1,0 +1,101 @@
+//! Property-based tests for the workload generators.
+
+use occamy_traffic::{
+    all_to_all, web_search, BackgroundWorkload, DoubleBinaryTree, EmpiricalCdf, QueryWorkload,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The inverse CDF is monotone non-decreasing in probability.
+    #[test]
+    fn inverse_cdf_is_monotone(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let cdf = web_search();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(cdf.inverse(lo) <= cdf.inverse(hi));
+    }
+
+    /// Samples always fall within the distribution's support.
+    #[test]
+    fn samples_within_support(seed in 0u64..1_000) {
+        let cdf = web_search();
+        let (lo, hi) = cdf.support();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let v = cdf.sample(&mut rng);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    /// A two-point CDF reproduces a uniform distribution's mean.
+    #[test]
+    fn uniform_cdf_mean(a in 0.0f64..1_000.0, width in 1.0f64..10_000.0) {
+        let cdf = EmpiricalCdf::new(vec![(a, 0.0), (a + width, 1.0)]);
+        prop_assert!((cdf.mean() - (a + width / 2.0)).abs() < 1e-6);
+    }
+
+    /// Double binary trees are valid for every rank count, and the two
+    /// interiors cover all ranks with at most one overlap-free split.
+    #[test]
+    fn double_tree_always_valid(n in 2usize..300) {
+        let dbt = DoubleBinaryTree::new(n);
+        prop_assert!(dbt.check_valid(), "invalid for n = {}", n);
+        // Edge count per tree: exactly n − 1 (spanning tree).
+        let flows = dbt.flows(1, 0, 0);
+        prop_assert_eq!(flows.len(), 4 * (n - 1));
+    }
+
+    /// Background arrivals respect the requested horizon and host range,
+    /// and the offered load is within 25% of the target (law of large
+    /// numbers over a long horizon).
+    #[test]
+    fn background_load_calibration(load_pct in 20u64..150, seed in 0u64..50) {
+        let load = load_pct as f64 / 100.0;
+        let wl = BackgroundWorkload::new(8, 10_000_000_000, load, web_search());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = 3_000_000_000_000u64; // 3 s
+        let flows = wl.generate(horizon, &mut rng);
+        let bytes: u64 = flows.iter().map(|f| f.bytes).sum();
+        let offered = bytes as f64 * 8.0 / (horizon as f64 / 1e12) / (8.0 * 10e9);
+        prop_assert!(
+            (offered / load - 1.0).abs() < 0.25,
+            "offered {} vs target {}", offered, load
+        );
+        prop_assert!(flows.iter().all(|f| f.src < 8 && f.dst < 8 && f.src != f.dst));
+        prop_assert!(flows.iter().all(|f| f.start_ps < horizon));
+    }
+
+    /// Queries split bytes exactly across distinct servers.
+    #[test]
+    fn query_splitting(
+        n_hosts in 3usize..32,
+        fanout_frac in 0.1f64..0.99,
+        bytes in 1_000u64..10_000_000,
+        seed in 0u64..100,
+    ) {
+        let fanout = ((n_hosts as f64 - 1.0) * fanout_frac).max(1.0) as usize;
+        let w = QueryWorkload::new(n_hosts, fanout, bytes, 100.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = w.make_query(0, 0, 1, &mut rng);
+        prop_assert_eq!(q.responses.len(), fanout);
+        let mut servers: Vec<usize> = q.responses.iter().map(|f| f.src).collect();
+        servers.sort_unstable();
+        servers.dedup();
+        prop_assert_eq!(servers.len(), fanout, "duplicate servers");
+        prop_assert!(q.responses.iter().all(|f| f.dst == 0 && f.src != 0));
+        let total: u64 = q.responses.iter().map(|f| f.bytes).sum();
+        prop_assert!(total <= bytes.max(fanout as u64));
+    }
+
+    /// All-to-all emits exactly n(n−1) flows covering every ordered pair.
+    #[test]
+    fn all_to_all_covers_pairs(n in 2usize..24) {
+        let flows = all_to_all(n, 100, 0);
+        prop_assert_eq!(flows.len(), n * (n - 1));
+        let mut pairs: Vec<(usize, usize)> = flows.iter().map(|f| (f.src, f.dst)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(pairs.len(), n * (n - 1), "duplicate pair");
+    }
+}

@@ -1,0 +1,84 @@
+//! The buffer-choking problem (paper §3.1, Fig. 5) and how Occamy fixes
+//! it (paper §6.2, Fig. 15).
+//!
+//! A strict-priority port carries latency-sensitive high-priority incast
+//! over low-priority CUBIC bulk flows. The LP queues grab buffer early
+//! and — because strict priority starves their drain — release it very
+//! slowly. A non-preemptive BM (DT) leaves the HP burst to drop; Occamy
+//! actively expels the over-allocated LP buffer.
+//!
+//! Run with: `cargo run --release --example buffer_choking`
+
+use occamy::sim::topology::{single_switch, BmSpec, SchedKind, SingleSwitchCfg};
+use occamy::sim::{CcAlgo, FlowDesc, SimConfig, MS, SEC, US};
+use occamy_core::BmKind;
+
+fn qct_ms(kind: BmKind) -> (f64, u64) {
+    let mut world = single_switch(SingleSwitchCfg {
+        host_rates_bps: vec![10_000_000_000; 8],
+        prop_ps: 1 * US,
+        buffer_bytes: 410_000,
+        classes: 8,
+        bm: BmSpec {
+            kind,
+            // HP gets α = 8, the 7 LP classes α = 1 — the paper's §3.1
+            // setup. Seven congested LP queues under DT each settle at
+            // B/8, so only ~12% of the buffer stays free for the burst.
+            alpha_per_class: vec![8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        },
+        sched: SchedKind::StrictPriority,
+        sim: SimConfig::default(),
+    });
+    // Low-priority bulk: 14 long CUBIC flows into host 0, two per LP
+    // class, entrenching all seven LP queues.
+    for i in 0..14 {
+        world.add_flow(FlowDesc {
+            src: 1 + i % 7,
+            dst: 0,
+            bytes: 50_000_000,
+            start_ps: 0,
+            prio: 1 + (i % 7) as u8,
+            cc: CcAlgo::Cubic,
+            query: None,
+            is_query: false,
+        });
+    }
+    // After the LP queues are entrenched, a high-priority incast query
+    // arrives with the paper's degree of 40 (5 senders × 8 flows): the
+    // 40 initial windows land within one RTT — ~600 KB against a buffer
+    // whose free space DT has squeezed to ~B/8.
+    for s in 0..5 {
+        for f in 0..8 {
+            world.add_flow(FlowDesc {
+                src: 1 + s,
+                dst: 0,
+                bytes: 14_600,
+                start_ps: 20 * MS,
+                prio: 0,
+                cc: CcAlgo::Dctcp,
+                query: Some(1),
+                is_query: true,
+            });
+            let _ = f;
+        }
+    }
+    world.run_to_completion(3 * SEC);
+    let records = world.flow_records();
+    let qct = records.qct_ms().mean().expect("query finished");
+    (qct, world.metrics.drops.head_drops)
+}
+
+fn main() {
+    let (dt, _) = qct_ms(BmKind::Dt);
+    let (occamy, expelled) = qct_ms(BmKind::Occamy);
+    let (pushout, _) = qct_ms(BmKind::Pushout);
+    println!("high-priority QCT under LP pressure:");
+    println!("  DT      {dt:8.2} ms   (buffer choked by LP queues)");
+    println!("  Occamy  {occamy:8.2} ms   ({expelled} LP packets expelled)");
+    println!("  Pushout {pushout:8.2} ms   (idealized preemption)");
+    println!(
+        "\nOccamy improves HP QCT by {:.0}% over DT (paper Fig. 15: DT \
+         degrades up to ~6.6x while Occamy matches Pushout).",
+        (1.0 - occamy / dt) * 100.0
+    );
+}

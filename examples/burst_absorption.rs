@@ -1,0 +1,85 @@
+//! Burst absorption (paper Fig. 12): how large a line-rate burst can the
+//! switch absorb without loss?
+//!
+//! A long-lived stream entrenches one queue; a line-rate burst then hits
+//! another. The experiment finds, by bisection, the largest lossless
+//! burst for DT and Occamy at several α values.
+//!
+//! Run with: `cargo run --release --example burst_absorption`
+
+use occamy::sim::topology::{single_switch, BmSpec, SchedKind, SingleSwitchCfg};
+use occamy::sim::{CbrDesc, SimConfig, MS, US};
+use occamy_core::BmKind;
+
+const G10: u64 = 10_000_000_000;
+const G100: u64 = 100_000_000_000;
+const BUFFER: u64 = 1_200_000;
+
+/// Loss rate of a `burst_bytes` burst against an entrenched queue.
+fn burst_loss(kind: BmKind, alpha: f64, burst_bytes: u64) -> f64 {
+    let mut w = single_switch(SingleSwitchCfg {
+        host_rates_bps: vec![G100, G100, G10, G10],
+        prop_ps: 1 * US,
+        buffer_bytes: BUFFER,
+        classes: 1,
+        bm: BmSpec::uniform(kind, alpha),
+        sched: SchedKind::Fifo,
+        sim: SimConfig::default(),
+    });
+    w.add_cbr(CbrDesc {
+        host: 0,
+        dst: 2,
+        rate_bps: 20_000_000_000,
+        pkt_len: 1_460,
+        prio: 0,
+        start_ps: 0,
+        stop_ps: 10 * MS,
+        budget_bytes: None,
+    });
+    let burst = w.add_cbr(CbrDesc {
+        host: 1,
+        dst: 3,
+        rate_bps: G100,
+        pkt_len: 1_460,
+        prio: 0,
+        start_ps: 3 * MS,
+        stop_ps: 10 * MS,
+        budget_bytes: Some(burst_bytes),
+    });
+    w.run_to_completion(12 * MS);
+    w.metrics.cbr[burst].loss_rate()
+}
+
+/// Largest lossless burst, found by bisection over [lo, hi] bytes.
+fn max_lossless(kind: BmKind, alpha: f64) -> u64 {
+    let (mut lo, mut hi) = (50_000u64, BUFFER);
+    while hi - lo > 10_000 {
+        let mid = (lo + hi) / 2;
+        if burst_loss(kind, alpha, mid) < 0.001 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() {
+    println!("largest lossless line-rate burst (1.2 MB shared buffer):\n");
+    println!("{:>8} {:>12} {:>12} {:>8}", "alpha", "DT", "Occamy", "gain");
+    for alpha in [1.0, 2.0, 4.0] {
+        let dt = max_lossless(BmKind::Dt, alpha);
+        let oc = max_lossless(BmKind::Occamy, alpha);
+        println!(
+            "{:>8} {:>9} KB {:>9} KB {:>7.0}%",
+            alpha,
+            dt / 1_000,
+            oc / 1_000,
+            (oc as f64 / dt as f64 - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nPaper Fig. 12: Occamy absorbs ~57% more than DT at α = 4, and \
+         Occamy's absorption *grows* with α while DT's shrinks."
+    );
+}

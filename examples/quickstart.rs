@@ -1,0 +1,92 @@
+//! Quickstart: the Occamy buffer manager on a bare `BufferState`, then a
+//! minimal end-to-end simulation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use occamy::core::{BufferManager, BufferState, Occamy, QueueConfig, Verdict};
+use occamy::sim::topology::{single_switch, BmSpec, SchedKind, SingleSwitchCfg};
+use occamy::sim::{CcAlgo, FlowDesc, SimConfig, MS, SEC, US};
+use occamy_core::BmKind;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // Part 1: the algorithm itself. A 410 KB shared buffer with 8
+    // queues; queue 0 is entrenched, then queue 1 wakes up.
+    // ---------------------------------------------------------------
+    let cfg = QueueConfig::uniform(8, 10_000_000_000, Occamy::RECOMMENDED_ALPHA);
+    let mut bm = Occamy::new(cfg);
+    let mut state = BufferState::new(410_000, 8);
+
+    // Entrench queue 0 at its solo steady state αB/(1+α).
+    while bm.admit(0, 1_500, &state) == Verdict::Accept {
+        state.enqueue(0, 1_500).unwrap();
+    }
+    println!(
+        "queue 0 entrenched at {} KB of a {} KB buffer (threshold now {} KB)",
+        state.queue_len(0) / 1_000,
+        state.capacity() / 1_000,
+        bm.threshold(0, &state) / 1_000,
+    );
+
+    // Queue 1 becomes active: buffer is nearly full, and under a
+    // non-preemptive scheme queue 0 could only shrink by transmitting.
+    // Occamy's reactive path finds it over-allocated and head-drops it.
+    let mut expelled = 0u64;
+    for _ in 0..200 {
+        if bm.admit(1, 1_500, &state) == Verdict::Accept {
+            state.enqueue(1, 1_500).unwrap();
+        }
+        if let Some(victim) = bm.select_victim(&state) {
+            state.dequeue(victim, 1_500).unwrap();
+            expelled += 1;
+        }
+    }
+    println!(
+        "after the burst: q0 = {} KB, q1 = {} KB ({expelled} packets expelled)",
+        state.queue_len(0) / 1_000,
+        state.queue_len(1) / 1_000,
+    );
+
+    // ---------------------------------------------------------------
+    // Part 2: the same scheme inside the event-driven simulator — two
+    // DCTCP senders incast into one receiver.
+    // ---------------------------------------------------------------
+    let mut world = single_switch(SingleSwitchCfg {
+        host_rates_bps: vec![10_000_000_000; 3],
+        prop_ps: 1 * US,
+        buffer_bytes: 410_000,
+        classes: 1,
+        bm: BmSpec::uniform(BmKind::Occamy, 8.0),
+        sched: SchedKind::Fifo,
+        sim: SimConfig {
+            min_rto: 5 * MS,
+            ..SimConfig::default()
+        },
+    });
+    for src in 0..2 {
+        world.add_flow(FlowDesc {
+            src,
+            dst: 2,
+            bytes: 2_000_000,
+            start_ps: 0,
+            prio: 0,
+            cc: CcAlgo::Dctcp,
+            query: None,
+            is_query: false,
+        });
+    }
+    world.run_to_completion(SEC);
+    for f in &world.flows {
+        println!(
+            "flow {}: {} bytes in {:.2} ms",
+            f.id,
+            f.bytes,
+            f.end_ps.expect("finished") as f64 / 1e9,
+        );
+    }
+    println!(
+        "drops: {} tail, {} head (expelled)",
+        world.metrics.drops.tail_drops(),
+        world.metrics.drops.head_drops,
+    );
+}

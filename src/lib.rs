@@ -1,0 +1,36 @@
+//! Occamy — a reproduction of *"Occamy: A Preemptive Buffer Management for
+//! On-chip Shared-memory Switches"* (EuroSys 2025) in Rust.
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! - [`core`] — the BM algorithms (DT, Occamy, ABM, Pushout, …) and
+//!   shared-buffer accounting.
+//! - [`hw`] — the cell-level traffic-manager model, head-drop circuits and
+//!   the hardware cost model (paper Table 1).
+//! - [`sim`] — the discrete-event network simulator (links, shared-memory
+//!   switches, DCTCP/CUBIC hosts, leaf-spine topologies).
+//! - [`traffic`] — workload generators (web-search CDF, incast queries,
+//!   all-to-all, all-reduce double binary trees).
+//! - [`stats`] — FCT/QCT metrics, percentiles, CDFs and table output.
+//!
+//! # Example
+//!
+//! ```
+//! use occamy::core::{BufferManager, BufferState, Occamy, QueueConfig, Verdict};
+//!
+//! let mut bm = Occamy::new(QueueConfig::uniform(8, 10_000_000_000, 8.0));
+//! let mut state = BufferState::new(410_000, 8);
+//! assert_eq!(bm.admit(0, 1_500, &state), Verdict::Accept);
+//! state.enqueue(0, 1_500).unwrap();
+//! assert_eq!(bm.select_victim(&state), None);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/occamy-bench` for
+//! the per-figure experiment harness.
+
+pub use occamy_core as core;
+pub use occamy_hw as hw;
+pub use occamy_sim as sim;
+pub use occamy_stats as stats;
+pub use occamy_traffic as traffic;
