@@ -14,7 +14,7 @@ use std::hint::black_box;
 fn incast_world(kind: BmKind) -> u64 {
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![10_000_000_000; 8],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 410_000,
         classes: 1,
         bm: BmSpec::uniform(kind, 8.0),

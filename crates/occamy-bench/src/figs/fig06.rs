@@ -1,0 +1,189 @@
+//! Paper **Fig. 6**: performance degradation of DT due to anomalous
+//! behavior (the §3.1 motivation testbed).
+//!
+//! - Fig. 6a (buffer choking): high-priority incast shares a port with 14
+//!   low-priority long-lived CUBIC flows under strict priority. DT is
+//!   configured so the incast deserves the *same* buffer with and without
+//!   the LP traffic (α = 8 for HP with LP present, α = 1 without); QCT
+//!   should therefore be unaffected — but LP queues drain slowly and choke
+//!   the buffer, inflating QCT several-fold.
+//! - Fig. 6b (inter-port influence): the same comparison with the
+//!   background on a *different* port — the degradation persists because
+//!   DT cannot reallocate buffer fast enough for the incast.
+//!
+//! Scaled from the paper's 8 × 40 G / 2 MB testbed to 8 × 10 G / 500 KB
+//! (same buffer per port per Gbps); query sizes scale by the same 4×.
+//!
+//! The no-background baseline is identical for both panels, so the grid
+//! runs it once per query size (`config = none`) and both emitted tables
+//! reference it.
+
+use crate::report::fmt;
+use crate::scenario::{
+    find, CellOutcome, CellResult, CellSpec, Grid, Report, Scale, Scenario, Value,
+};
+use occamy_core::BmKind;
+use occamy_sim::topology::{single_switch, BmSpec, SchedKind, SingleSwitchCfg};
+use occamy_sim::{CcAlgo, FlowDesc, SimConfig, MS, US};
+use occamy_stats::Table;
+
+const G10: u64 = 10_000_000_000;
+const BUFFER: u64 = 500_000;
+
+/// Registry entry for paper Fig. 6.
+pub struct Fig06;
+
+fn sizes_kb(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Full => vec![500, 1_000, 1_500, 2_000, 2_500, 3_000, 3_500],
+        Scale::Quick => vec![1_000, 2_500],
+        Scale::Smoke => vec![1_000],
+    }
+}
+
+impl Scenario for Fig06 {
+    fn name(&self) -> &'static str {
+        "fig06"
+    }
+
+    fn description(&self) -> &'static str {
+        "DT motivation: buffer choking and inter-port influence on incast QCT"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<CellSpec> {
+        Grid::new("fig06", scale)
+            .axis("query_kb", sizes_kb(scale))
+            // none: no background, HP α = 1 — the shared baseline.
+            // same_port: LP CUBIC on the incast port, HP α = 8 (Fig. 6a).
+            // other_port: LP CUBIC on port 5, HP α = 1 (Fig. 6b).
+            .axis("config", ["none", "same_port", "other_port"])
+            .build()
+    }
+
+    fn run(&self, cell: &CellSpec) -> CellResult {
+        let (bg_port, hp_alpha): (Option<usize>, f64) = match cell.str("config") {
+            "none" => (None, 1.0),
+            "same_port" => (Some(0), 8.0),
+            _ => (Some(5), 1.0),
+        };
+        let (queries, gap, tail) = match cell.scale {
+            Scale::Full => (8u64, 100 * MS, 500 * MS),
+            Scale::Quick => (4, 60 * MS, 300 * MS),
+            Scale::Smoke => (2, 30 * MS, 150 * MS),
+        };
+        let query_bytes = cell.u64("query_kb") * 1000;
+        let mut w = single_switch(SingleSwitchCfg {
+            host_rates_bps: vec![G10; 8],
+            prop_ps: US,
+            buffer_bytes: BUFFER,
+            classes: 8,
+            bm: BmSpec {
+                kind: BmKind::Dt,
+                alpha_per_class: {
+                    let mut a = vec![1.0; 8];
+                    a[0] = hp_alpha;
+                    a
+                },
+            },
+            sched: SchedKind::StrictPriority,
+            sim: SimConfig {
+                min_rto: 10 * MS,
+                ..SimConfig::default()
+            },
+        });
+        // Low-priority background: 14 long-lived CUBIC flows from hosts
+        // 6/7, one per LP class 1..=7 (paper: "14 long-lived flows from 2
+        // other senders, each classified into one of 7 low-priority
+        // queues").
+        if let Some(dst) = bg_port {
+            for i in 0..14 {
+                w.add_flow(FlowDesc {
+                    src: 6 + i % 2,
+                    dst,
+                    bytes: u64::MAX / 4, // effectively long-lived
+                    start_ps: 0,
+                    prio: 1 + (i % 7) as u8,
+                    cc: CcAlgo::Cubic,
+                    query: None,
+                    is_query: false,
+                });
+            }
+        }
+        // High-priority incast to host 0: degree 40 = 5 senders × 8 flows.
+        for q in 0..queries {
+            let start = 20 * MS + q * gap;
+            for s in 0..5 {
+                for _ in 0..8 {
+                    w.add_flow(FlowDesc {
+                        src: 1 + s,
+                        dst: 0,
+                        bytes: (query_bytes / 40).max(1),
+                        start_ps: start,
+                        prio: 0,
+                        cc: CcAlgo::Dctcp,
+                        query: Some(q),
+                        is_query: true,
+                    });
+                }
+            }
+        }
+        w.run_to_completion(20 * MS + queries * gap + tail);
+        let mut qct = w.flow_records().qct_ms();
+        CellResult::new()
+            .metric("queries", qct.len() as f64)
+            .metric_opt("qct_avg_ms", qct.mean())
+            .metric_opt("qct_p99_ms", qct.p99())
+    }
+
+    fn emit(&self, outcomes: &[CellOutcome]) -> Report {
+        let mut report = Report::new();
+        let mut worst = [0.0f64; 2];
+        let panels = [
+            (
+                "same_port",
+                "Fig 6a: buffer choking (HP incast vs LP traffic on the same port)",
+                ["query_KB", "qct_ms_no_lp", "qct_ms_with_lp", "degradation"],
+                "fig06a.csv",
+            ),
+            (
+                "other_port",
+                "Fig 6b: inter-port influence (background on a different port)",
+                ["query_KB", "qct_ms_no_bg", "qct_ms_with_bg", "degradation"],
+                "fig06b.csv",
+            ),
+        ];
+        for (p, (config, title, cols, csv)) in panels.into_iter().enumerate() {
+            let mut t = Table::new(title, &cols);
+            for size in crate::scenario::distinct(outcomes, "query_kb") {
+                let qct = |cfg: &str| {
+                    find(
+                        outcomes,
+                        &[("query_kb", &size), ("config", &Value::from(cfg))],
+                    )
+                    .and_then(|o| o.result.get("qct_avg_ms"))
+                };
+                let without = qct("none");
+                let with = qct(config);
+                if let (Some(a), Some(b)) = (without, with) {
+                    worst[p] = worst[p].max(b / a);
+                }
+                t.row(vec![
+                    size.to_string(),
+                    fmt(without),
+                    fmt(with),
+                    match (without, with) {
+                        (Some(x), Some(y)) => format!("{:.1}x", y / x),
+                        _ => "-".into(),
+                    },
+                ]);
+            }
+            report = report.table_csv(t, csv);
+        }
+        report.note(format!(
+            "Shape check: paper reports up to ~8x degradation with LP traffic \
+             (6a) and up to ~2x with inter-port background (6b); measured \
+             {:.1}x and {:.1}x.",
+            worst[0], worst[1]
+        ))
+    }
+}

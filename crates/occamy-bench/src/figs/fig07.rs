@@ -1,0 +1,147 @@
+//! Paper **Fig. 7**: CDFs of buffer and memory-bandwidth utilization
+//! sampled at packet-drop instants.
+//!
+//! Leaf-spine fabric under DT with web-search background (no queries).
+//! - Fig. 7a: buffer utilization on drop for α ∈ {0.5, 1} at 40% load —
+//!   the paper's point is that DT drops while a large fraction of the
+//!   buffer is still free (p99 utilization ≈ 66% at α = 0.5).
+//! - Fig. 7b: memory-bandwidth utilization on drop for loads
+//!   {20, 40, 90}% — even at 90% load the median free bandwidth is ~38%,
+//!   the headroom Occamy's expulsion path exploits.
+//!
+//! The (α = 0.5, load = 40%) operating point appears in both panels, so
+//! the grid enumerates the four distinct simulations explicitly.
+
+use crate::figs::scale_leaf_spine;
+use crate::scenario::{
+    explicit_grid, find, CellOutcome, CellResult, CellSpec, Report, Scale, Scenario, Value,
+};
+use crate::scenarios::{BgPattern, LeafSpineScenario};
+use occamy_core::BmKind;
+use occamy_stats::{Cdf, Table};
+
+/// Registry entry for paper Fig. 7.
+pub struct Fig07;
+
+const QUANTILES: [(f64, &str); 5] = [
+    (0.25, "p25"),
+    (0.50, "p50"),
+    (0.75, "p75"),
+    (0.90, "p90"),
+    (0.99, "p99"),
+];
+
+impl Scenario for Fig07 {
+    fn name(&self) -> &'static str {
+        "fig07"
+    }
+
+    fn description(&self) -> &'static str {
+        "DT waste: buffer and memory-bandwidth utilization at drop instants"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<CellSpec> {
+        let points: &[(f64, f64)] = match scale {
+            Scale::Smoke => &[(0.5, 0.4)],
+            _ => &[(0.5, 0.4), (1.0, 0.4), (0.5, 0.2), (0.5, 0.9)],
+        };
+        explicit_grid(
+            "fig07",
+            scale,
+            points
+                .iter()
+                .map(|&(alpha, load)| {
+                    vec![("alpha", Value::from(alpha)), ("load", Value::from(load))]
+                })
+                .collect(),
+        )
+    }
+
+    fn run(&self, cell: &CellSpec) -> CellResult {
+        let mut sc = LeafSpineScenario::paper_scaled(BmKind::Dt, cell.f64("alpha"));
+        sc.bg = BgPattern::WebSearch {
+            load: cell.f64("load"),
+        };
+        sc.qps_per_host = 0.0; // background only, as in §3.1
+        sc.seed = cell.seed;
+        scale_leaf_spine(&mut sc, cell.scale);
+        let (world, _) = sc.run_world();
+        let mut result =
+            CellResult::new().metric("drops", world.metrics.drop_buffer_util.len() as f64);
+        for (prefix, samples) in [
+            ("buf", &world.metrics.drop_buffer_util),
+            ("bw", &world.metrics.drop_membw_util),
+        ] {
+            let mut cdf = Cdf::new();
+            for &u in samples {
+                cdf.add(u);
+            }
+            for (q, label) in QUANTILES {
+                result = result.metric_opt(&format!("{prefix}_{label}"), cdf.quantile(q));
+            }
+        }
+        result
+    }
+
+    fn emit(&self, outcomes: &[CellOutcome]) -> Report {
+        let cols = &["series", "drops", "p25", "p50", "p75", "p90", "p99"];
+        let quantile_row = |label: &str, o: &CellOutcome, prefix: &str| -> Vec<String> {
+            let mut row = vec![
+                label.to_string(),
+                format!("{}", o.result.get("drops").unwrap_or(0.0) as u64),
+            ];
+            for (_, q) in QUANTILES {
+                row.push(
+                    o.result
+                        .get(&format!("{prefix}_{q}"))
+                        .map(|v| format!("{:.1}", v * 100.0))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            row
+        };
+        let at = |alpha: f64, load: f64| {
+            find(
+                outcomes,
+                &[("alpha", &Value::from(alpha)), ("load", &Value::from(load))],
+            )
+        };
+
+        let mut a = Table::new(
+            "Fig 7a: buffer utilization (%) at drop instants, 40% load",
+            cols,
+        );
+        for alpha in [0.5, 1.0] {
+            if let Some(o) = at(alpha, 0.4) {
+                a.row(quantile_row(&format!("alpha={alpha}"), o, "buf"));
+            }
+        }
+
+        let mut b = Table::new(
+            "Fig 7b: memory-bandwidth utilization (%) at drop instants (alpha=0.5)",
+            cols,
+        );
+        for load in [0.2, 0.4, 0.9] {
+            if let Some(o) = at(0.5, load) {
+                b.row(quantile_row(&format!("load={:.0}%", load * 100.0), o, "bw"));
+            }
+        }
+
+        let p99_half = at(0.5, 0.4).and_then(|o| o.result.get("buf_p99"));
+        let median_bw_90 = at(0.5, 0.9).and_then(|o| o.result.get("bw_p50"));
+        Report::new()
+            .table_csv(a, "fig07a.csv")
+            .table_csv(b, "fig07b.csv")
+            .note(format!(
+                "Shape check: paper reports p99 buffer utilization ~66% at α=0.5 \
+                 (measured {}); and ≥~38% median *free* memory bandwidth even at \
+                 90% load (measured free {}).",
+                p99_half
+                    .map(|v| format!("{:.0}%", v * 100.0))
+                    .unwrap_or_else(|| "n/a".into()),
+                median_bw_90
+                    .map(|v| format!("{:.0}%", (1.0 - v) * 100.0))
+                    .unwrap_or_else(|| "n/a".into()),
+            ))
+    }
+}

@@ -1,0 +1,120 @@
+//! Paper **Fig. 12**: burst loss rate vs burst size for Occamy and DT
+//! with α ∈ {1, 2, 4} on the P4-testbed scenario.
+//!
+//! Paper shape: (1) at equal α, Occamy absorbs markedly larger bursts
+//! than DT (≈57% more at α = 4) because it vacates the entrenched queue
+//! instead of waiting for it to drain; (2) Occamy *improves* as α grows
+//! (more usable buffer, agility intact) while DT *degrades* (less
+//! reserve, no agility).
+
+use crate::scenario::{
+    distinct, find, CellOutcome, CellResult, CellSpec, Grid, Report, Scale, Scenario, Value,
+};
+use crate::scenarios::{bm_kind_by_name, CbrTestbed};
+use occamy_sim::{CbrDesc, MS};
+use occamy_stats::Table;
+
+/// Registry entry for paper Fig. 12.
+pub struct Fig12;
+
+impl Scenario for Fig12 {
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn description(&self) -> &'static str {
+        "burst absorption: loss rate vs burst size, Occamy vs DT across alpha"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<CellSpec> {
+        let (alphas, sizes): (Vec<f64>, Vec<u64>) = match scale {
+            Scale::Smoke => (vec![1.0], vec![300_000, 500_000]),
+            _ => (vec![1.0, 2.0, 4.0], (3..=8).map(|k| k * 100_000).collect()),
+        };
+        Grid::new("fig12", scale)
+            .axis("alpha", alphas)
+            .axis("burst", sizes)
+            .axis("scheme", ["Occamy", "DT"])
+            .build()
+    }
+
+    fn run(&self, cell: &CellSpec) -> CellResult {
+        let kind = bm_kind_by_name(cell.str("scheme")).expect("known scheme");
+        let tb = CbrTestbed::paper_p4(kind, cell.f64("alpha"));
+        let mut w = tb.build();
+        // Long-lived traffic entrenches queue 1 (toward host 2) from t=0.
+        w.add_cbr(CbrDesc {
+            host: 0,
+            dst: 2,
+            rate_bps: 20_000_000_000,
+            pkt_len: 1_460,
+            prio: 0,
+            start_ps: 0,
+            stop_ps: 10 * MS,
+            budget_bytes: None,
+        });
+        // The measured burst hits queue 2 at line rate from t=3 ms.
+        let burst = w.add_cbr(CbrDesc {
+            host: 1,
+            dst: 3,
+            rate_bps: tb.fast_rate_bps,
+            pkt_len: 1_460,
+            prio: 0,
+            start_ps: 3 * MS,
+            stop_ps: 10 * MS,
+            budget_bytes: Some(cell.u64("burst")),
+        });
+        w.run_to_completion(12 * MS);
+        CellResult::new().metric("loss_rate", w.metrics.cbr[burst].loss_rate())
+    }
+
+    fn emit(&self, outcomes: &[CellOutcome]) -> Report {
+        let mut report = Report::new();
+        let schemes = [Value::from("Occamy"), Value::from("DT")];
+        let mut absorb: Vec<(String, u64)> = Vec::new();
+        for alpha in distinct(outcomes, "alpha") {
+            let mut t = Table::new(
+                &format!("Fig 12, α = {alpha}: burst loss rate"),
+                &["burst_KB", "Occamy", "DT"],
+            );
+            let mut max_lossless = [0u64; 2];
+            for size in distinct(outcomes, "burst") {
+                let &Value::U64(bytes) = &size else {
+                    continue;
+                };
+                let mut cells = vec![(bytes / 1000).to_string()];
+                for (i, scheme) in schemes.iter().enumerate() {
+                    let loss = find(
+                        outcomes,
+                        &[("alpha", &alpha), ("burst", &size), ("scheme", scheme)],
+                    )
+                    .and_then(|o| o.result.get("loss_rate"));
+                    if let Some(l) = loss {
+                        if l < 0.001 {
+                            max_lossless[i] = bytes;
+                        }
+                    }
+                    cells.push(match loss {
+                        Some(l) => format!("{l:.3}"),
+                        None => "-".into(),
+                    });
+                }
+                t.row(cells);
+            }
+            report = report.table_csv(t, &format!("fig12_alpha{alpha}.csv"));
+            absorb.push((format!("Occamy α={alpha}"), max_lossless[0]));
+            absorb.push((format!("DT α={alpha}"), max_lossless[1]));
+        }
+        let mut s = Table::new(
+            "Fig 12 summary: largest lossless burst",
+            &["scheme", "max_lossless_burst_KB"],
+        );
+        for (name, v) in &absorb {
+            s.row(vec![name.clone(), (v / 1000).to_string()]);
+        }
+        report.table_csv(s, "fig12_summary.csv").note(
+            "Expected shape: Occamy's largest lossless burst grows with α and \
+             exceeds DT's at every α; DT's shrinks as α grows.",
+        )
+    }
+}

@@ -1,0 +1,156 @@
+//! Paper **Table 1**: hardware cost of Occamy's components.
+//!
+//! The paper synthesizes 286 lines of Verilog with Vivado (LUTs/FFs) and
+//! Design Compiler on FreePDK45 (timing/area/power). We reproduce the
+//! table through the analytic gate-level model in `occamy_hw::cost`,
+//! calibrated at the paper's design point (64 queues, 19-bit lengths),
+//! and extend it with the scaling the paper argues about: the head-drop
+//! selector versus the Maximum Finder that Pushout would need.
+//!
+//! The grid has one cell per queue count of the scaling study; the
+//! fixed-design-point model rows are computed by the first cell.
+
+use crate::scenario::{CellOutcome, CellResult, CellSpec, Grid, Report, Scale, Scenario};
+use occamy_hw::cost;
+use occamy_stats::Table;
+
+/// Registry entry for paper Table 1.
+pub struct Table01;
+
+fn cost_metrics(mut result: CellResult, name: &str, c: &cost::HwCost) -> CellResult {
+    for (key, v) in [
+        ("luts", c.luts as f64),
+        ("ffs", c.flip_flops as f64),
+        ("timing_ns", c.timing_ns),
+        ("area_mm2", c.area_mm2),
+        ("power_mw", c.power_mw),
+    ] {
+        result = result.metric(&format!("{name}_{key}"), v);
+    }
+    result
+}
+
+fn cost_row(name: &str, r: &CellResult, prefix: &str) -> Vec<String> {
+    vec![
+        name.to_string(),
+        format!("{}", r.get(&format!("{prefix}_luts")).unwrap_or(0.0) as u64),
+        format!("{}", r.get(&format!("{prefix}_ffs")).unwrap_or(0.0) as u64),
+        format!(
+            "{:.2}",
+            r.get(&format!("{prefix}_timing_ns")).unwrap_or(0.0)
+        ),
+        format!(
+            "{:.2e}",
+            r.get(&format!("{prefix}_area_mm2")).unwrap_or(0.0)
+        ),
+        format!("{:.3}", r.get(&format!("{prefix}_power_mw")).unwrap_or(0.0)),
+    ]
+}
+
+impl Scenario for Table01 {
+    fn name(&self) -> &'static str {
+        "table01"
+    }
+
+    fn description(&self) -> &'static str {
+        "hardware cost model: Occamy's circuits vs the Maximum Finder, with scaling"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<CellSpec> {
+        let queues: Vec<u64> = match scale {
+            Scale::Smoke => vec![64],
+            _ => vec![32, 64, 128, 256, 512, 1024],
+        };
+        Grid::new("table01", scale).axis("queues", queues).build()
+    }
+
+    fn run(&self, cell: &CellSpec) -> CellResult {
+        let n = cell.u64("queues") as usize;
+        // Scaling study at 20-bit queue lengths.
+        let s = cost::selector(n, 20);
+        let m = cost::maxfinder(n, 20);
+        let mut result = CellResult::new();
+        result = cost_metrics(result, "selector20", &s);
+        result = cost_metrics(result, "maxfinder20", &m);
+        if cell.index == 0 {
+            // The fixed design-point model (paper's 64 queues, 19 bits)
+            // only needs computing once.
+            result = cost_metrics(
+                result,
+                "model_selector",
+                &cost::selector(cost::PAPER_NUM_QUEUES, cost::PAPER_QLEN_BITS),
+            );
+            result = cost_metrics(result, "model_arbiter", &cost::fixed_priority_arbiter());
+            result = cost_metrics(result, "model_executor", &cost::head_drop_executor());
+            result = cost_metrics(
+                result,
+                "model_total",
+                &cost::occamy_total(cost::PAPER_NUM_QUEUES, cost::PAPER_QLEN_BITS),
+            );
+        }
+        result
+    }
+
+    fn emit(&self, outcomes: &[CellOutcome]) -> Report {
+        let cols = &["module", "LUTs", "FFs", "timing_ns", "area_mm2", "power_mW"];
+        let mut report = Report::new();
+
+        if let Some(first) = outcomes.first() {
+            let mut model = Table::new("Table 1 (model): Occamy hardware cost at 64 queues", cols);
+            model.row(cost_row("Selector", &first.result, "model_selector"));
+            model.row(cost_row("Arbiter", &first.result, "model_arbiter"));
+            model.row(cost_row("Executor", &first.result, "model_executor"));
+            model.row(cost_row("Total", &first.result, "model_total"));
+            report = report.table_csv(model, "table01_model.csv");
+        }
+
+        let mut paper = Table::new(
+            "Table 1 (paper): reported by Vivado / Design Compiler",
+            cols,
+        );
+        for (name, c) in [
+            ("Selector", &cost::PAPER_SELECTOR),
+            ("Arbiter", &cost::PAPER_ARBITER),
+            ("Executor", &cost::PAPER_EXECUTOR),
+        ] {
+            paper.row(vec![
+                name.to_string(),
+                c.luts.to_string(),
+                c.flip_flops.to_string(),
+                format!("{:.2}", c.timing_ns),
+                format!("{:.2e}", c.area_mm2),
+                format!("{:.3}", c.power_mw),
+            ]);
+        }
+        report = report.table(paper);
+
+        let mut scaling = Table::new(
+            "Extension: selector vs Maximum Finder (20-bit queue lengths)",
+            &[
+                "queues",
+                "selector_LUTs",
+                "selector_ns",
+                "maxfinder_LUTs",
+                "maxfinder_ns",
+                "MF_misses_1GHz",
+            ],
+        );
+        for o in outcomes {
+            let r = &o.result;
+            let mf_ns = r.get("maxfinder20_timing_ns").unwrap_or(0.0);
+            scaling.row(vec![
+                o.spec.u64("queues").to_string(),
+                format!("{}", r.get("selector20_luts").unwrap_or(0.0) as u64),
+                format!("{:.2}", r.get("selector20_timing_ns").unwrap_or(0.0)),
+                format!("{}", r.get("maxfinder20_luts").unwrap_or(0.0) as u64),
+                format!("{:.2}", mf_ns),
+                if mf_ns > 1.0 { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        report.table_csv(scaling, "table01_scaling.csv").note(
+            "Shape check: selector dominates Occamy's cost; total stays under \
+             0.03 mm2 / 1 mW; the Maximum Finder misses a 1 GHz cycle at switch \
+             scale while the selector does not (paper Difficulty 3).",
+        )
+    }
+}

@@ -1,22 +1,47 @@
-//! Experiment harness for the Occamy reproduction.
+//! Experiment harness for the Occamy reproduction: a declarative
+//! **scenario registry** with a **parallel runner**.
 //!
-//! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see `DESIGN.md` for the experiment index). This library holds the
-//! shared scenario builders:
+//! Every table and figure of the paper (plus extension studies) is one
+//! [`scenario::Scenario`] implementation — a named parameter grid whose
+//! independent cells the runner executes across worker threads with
+//! deterministic per-cell seeds. The pieces:
 //!
-//! - [`scenarios::TestbedScenario`] — the 8-host / 10 Gbps / 410 KB DPDK
-//!   software-switch setup of §6.2 (Figs. 13–16) and the motivation
-//!   testbed of §3.1 (Fig. 6);
-//! - [`scenarios::LeafSpineScenario`] — the leaf-spine fabric of §6.4
-//!   (Figs. 7, 17–23), dimension-scaled to keep each data point seconds
-//!   of wall clock (see `EXPERIMENTS.md` for the scaling rationale);
-//! - [`report`] — ideal-FCT helpers, result aggregation and table/CSV
-//!   output.
+//! - [`scenario`] — the `Scenario` trait, grid builder ([`scenario::Grid`]),
+//!   per-cell results and report assembly;
+//! - [`registry`] — the central table mapping names (`fig12`, `table01`,
+//!   …) to scenario implementations;
+//! - [`runner`] — parallel cell execution, table/CSV printing and the
+//!   machine-readable `BENCH_<name>.json` sink;
+//! - [`scenarios`] — the reusable testbed builders behind the grids:
+//!   [`scenarios::TestbedScenario`] (the 8-host / 10 Gbps / 410 KB DPDK
+//!   software-switch setup of §6.2, Figs. 13–16, and the §3.1 motivation
+//!   testbed of Fig. 6), [`scenarios::LeafSpineScenario`] (the §6.4
+//!   fabric of Figs. 7, 17–23, dimension-scaled to keep each data point
+//!   seconds of wall clock) and [`scenarios::CbrTestbed`] (the Tofino
+//!   CBR micro-testbed of Figs. 3, 11, 12);
+//! - [`report`] — ideal-FCT model and result aggregation.
+//!
+//! # CLI
+//!
+//! The single `occamy-bench` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p occamy-bench -- list
+//! cargo run --release -p occamy-bench -- run fig12 fig13
+//! cargo run --release -p occamy-bench -- all --quick
+//! ```
+//!
+//! Adding a workload is one ~50–150-line module in `src/figs/` plus one
+//! registry line — no new binary, no copied topology setup.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod figs;
+pub mod registry;
 pub mod report;
+pub mod runner;
+pub mod scenario;
 pub mod scenarios;
 
 /// Returns `true` when quick mode is requested via `OCCAMY_QUICK=1`

@@ -1,0 +1,154 @@
+//! The `occamy-bench` CLI: lists and runs registered scenarios.
+//!
+//! ```text
+//! occamy-bench list
+//! occamy-bench run <name...> [--quick|--smoke] [--serial] [--threads N]
+//! occamy-bench all [--quick|--smoke] [--serial] [--threads N]
+//! ```
+//!
+//! `run`/`all` execute the selected scenarios' grid cells in parallel
+//! across worker threads, print each scenario's tables and shape-check
+//! notes, mirror tables to `results/*.csv` and write one machine-readable
+//! `BENCH_<name>.json` per scenario.
+
+use occamy_bench::registry::{find_scenario, registry};
+use occamy_bench::runner;
+use occamy_bench::scenario::{Scale, Scenario};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: occamy-bench <command> [options]
+
+commands:
+  list                 show every registered scenario
+  run <name...>        run the named scenarios (see `list`)
+  all                  run every registered scenario
+
+options:
+  --quick              reduced sweeps and durations (also: OCCAMY_QUICK=1)
+  --smoke              near-trivial grids (seconds; used by the smoke test)
+  --serial             execute cells on one thread (baseline / profiling)
+  --threads N          worker thread count (default: all cores)
+";
+
+struct Args {
+    command: String,
+    names: Vec<String>,
+    scale: Scale,
+    parallel: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut command = None;
+    let mut names = Vec::new();
+    let mut scale = Scale::from_env();
+    let mut parallel = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--smoke" => scale = Scale::Smoke,
+            "--serial" => parallel = false,
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--threads needs a positive integer")?;
+                // The worker pool sizes itself from this variable.
+                std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+            }
+            "-h" | "--help" => {
+                command = Some("help".to_string());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option '{flag}'"));
+            }
+            word if command.is_none() => command = Some(word.to_string()),
+            word => names.push(word.to_string()),
+        }
+    }
+    Ok(Args {
+        command: command.ok_or("missing command")?,
+        names,
+        scale,
+        parallel,
+    })
+}
+
+fn list(scale: Scale) {
+    println!(
+        "registered scenarios ({}, {scale} scale):\n",
+        registry().len()
+    );
+    for s in registry() {
+        println!(
+            "  {:<22} {:>3} cells  {}",
+            s.name(),
+            s.grid(scale).len(),
+            s.description()
+        );
+    }
+    println!("\nrun one with: occamy-bench run <name>   (or `all`)");
+}
+
+fn run(scenarios: Vec<&'static dyn Scenario>, scale: Scale, parallel: bool) -> ExitCode {
+    let (runs, stats) = runner::execute(&scenarios, scale, parallel);
+    for r in &runs {
+        if let Err(e) = runner::render(r, scale, stats.wall) {
+            eprintln!("failed to write outputs for {}: {e}", r.scenario.name());
+            return ExitCode::FAILURE;
+        }
+    }
+    runner::print_stats(&stats);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.command.as_str() {
+        "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        "list" => {
+            list(args.scale);
+            ExitCode::SUCCESS
+        }
+        "all" => run(registry().to_vec(), args.scale, args.parallel),
+        "run" => {
+            if args.names.is_empty() {
+                eprintln!("error: `run` needs at least one scenario name\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            let mut selected = Vec::new();
+            for name in &args.names {
+                match find_scenario(name) {
+                    Some(s) => selected.push(s),
+                    None => {
+                        eprintln!(
+                            "error: unknown scenario '{name}'; known: {}",
+                            registry()
+                                .iter()
+                                .map(|s| s.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            run(selected, args.scale, args.parallel)
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

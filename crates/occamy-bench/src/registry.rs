@@ -1,0 +1,72 @@
+//! The central scenario table: every figure, table and extension study,
+//! registered once and discoverable by name.
+
+use crate::figs;
+use crate::scenario::Scenario;
+
+/// Every registered scenario, in catalog order (motivation, mechanism,
+/// testbed end-to-end, large-scale, ablations, hardware).
+static REGISTRY: &[&dyn Scenario] = &[
+    &figs::fig03::Fig03,
+    &figs::fig06::Fig06,
+    &figs::fig07::Fig07,
+    &figs::fig11::Fig11,
+    &figs::fig12::Fig12,
+    &figs::fig13::Fig13,
+    &figs::fig14::Fig14,
+    &figs::fig15::Fig15,
+    &figs::fig16::Fig16,
+    &figs::fig17::Fig17,
+    &figs::fig18::Fig18,
+    &figs::fig19::Fig19,
+    &figs::fig20::Fig20,
+    &figs::fig21::Fig21,
+    &figs::fig22::Fig22,
+    &figs::fig23::Fig23,
+    &figs::table01::Table01,
+    &figs::ablation_token_rate::AblationTokenRate,
+];
+
+/// All registered scenarios, in catalog order.
+pub fn registry() -> &'static [&'static dyn Scenario] {
+    REGISTRY
+}
+
+/// Looks a scenario up by its registry name.
+pub fn find_scenario(name: &str) -> Option<&'static dyn Scenario> {
+    REGISTRY.iter().copied().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_has_the_full_catalog() {
+        assert!(
+            registry().len() >= 15,
+            "expected at least 15 scenarios, found {}",
+            registry().len()
+        );
+    }
+
+    #[test]
+    fn names_are_unique_and_descriptions_nonempty() {
+        let names: BTreeSet<&str> = registry().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), registry().len(), "duplicate scenario name");
+        for s in registry() {
+            assert!(
+                !s.description().is_empty(),
+                "{} lacks a description",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert_eq!(find_scenario("fig12").map(|s| s.name()), Some("fig12"));
+        assert!(find_scenario("fig99").is_none());
+    }
+}

@@ -1,7 +1,8 @@
-//! Result aggregation shared by the figure binaries.
+//! Result aggregation shared by the scenario modules.
 
+use crate::scenario::CellResult;
 use occamy_sim::{tx_time_ps, Ps};
-use occamy_stats::{FlowClass, FlowSet, Summary, SMALL_FLOW_BYTES};
+use occamy_stats::{FlowClass, FlowSet, Json, Summary, SMALL_FLOW_BYTES};
 
 /// Ideal (contention-free) FCT model: one base RTT plus serialization of
 /// the payload (with per-MSS header overhead) at `bottleneck_bps`.
@@ -43,6 +44,42 @@ pub struct RunResult {
     pub losses: u64,
     /// Flows not finished when the run ended.
     pub unfinished: usize,
+}
+
+impl RunResult {
+    /// Flattens the headline statistics into scenario-cell metrics.
+    /// Statistics without samples are omitted (they format as `-`).
+    pub fn into_cell(mut self) -> CellResult {
+        CellResult::new()
+            .metric("queries", self.qct_ms.len() as f64)
+            .metric_opt("qct_avg_ms", self.qct_ms.mean())
+            .metric_opt("qct_p99_ms", self.qct_ms.p99())
+            .metric_opt("qct_slowdown_avg", self.qct_slowdown.mean())
+            .metric_opt("qct_slowdown_p99", self.qct_slowdown.p99())
+            .metric_opt("bg_fct_avg_ms", self.bg_fct_ms.mean())
+            .metric_opt("bg_slowdown_avg", self.bg_slowdown.mean())
+            .metric_opt("bg_slowdown_p99", self.bg_slowdown.p99())
+            .metric_opt("small_bg_fct_p99_ms", self.small_bg_fct_ms.p99())
+            .metric_opt("small_bg_slowdown_p99", self.small_bg_slowdown.p99())
+            .metric("losses", self.losses as f64)
+            .metric("unfinished", self.unfinished as f64)
+    }
+
+    /// Serializes every distribution summary plus the counters.
+    /// `&mut self` for the same reason as [`Summary::to_json`]: the
+    /// percentile sorts happen in place instead of on copies.
+    pub fn to_json(&mut self) -> Json {
+        Json::obj([
+            ("qct_ms", self.qct_ms.to_json()),
+            ("qct_slowdown", self.qct_slowdown.to_json()),
+            ("bg_fct_ms", self.bg_fct_ms.to_json()),
+            ("bg_slowdown", self.bg_slowdown.to_json()),
+            ("small_bg_fct_ms", self.small_bg_fct_ms.to_json()),
+            ("small_bg_slowdown", self.small_bg_slowdown.to_json()),
+            ("losses", Json::from(self.losses)),
+            ("unfinished", Json::from(self.unfinished)),
+        ])
+    }
 }
 
 /// Builds a [`RunResult`] from the flow records of a finished run.
@@ -125,5 +162,35 @@ mod tests {
     fn fmt_handles_missing() {
         assert_eq!(fmt(None), "-");
         assert_eq!(fmt(Some(1.23456)), "1.235");
+    }
+
+    #[test]
+    fn run_result_flattens_into_cell() {
+        let mut fs = FlowSet::new();
+        fs.push(FlowRecord {
+            id: 0,
+            bytes: 50_000,
+            start_ps: 0,
+            end_ps: Some(1_000_000_000),
+            class: FlowClass::Background,
+            query: None,
+        });
+        let ideal = IdealFct {
+            base_rtt_ps: 1,
+            bottleneck_bps: 10_000_000_000,
+            mss: 1_460,
+        };
+        let mut r = aggregate(&fs, ideal, 2);
+        let json = r.to_json().render();
+        assert!(json.contains("\"losses\":2"), "{json}");
+        assert!(json.contains("\"bg_fct_ms\""), "{json}");
+        let cell = r.into_cell();
+        assert_eq!(cell.get("losses"), Some(2.0));
+        assert_eq!(cell.get("queries"), Some(0.0));
+        assert!(
+            cell.get("qct_avg_ms").is_none(),
+            "empty stat must be omitted"
+        );
+        assert!(cell.get("bg_fct_avg_ms").is_some());
     }
 }

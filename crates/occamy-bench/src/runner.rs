@@ -1,0 +1,297 @@
+//! The parallel experiment runner: executes scenario grids cell-by-cell
+//! across worker threads, then renders each scenario's report and writes
+//! the machine-readable `BENCH_<name>.json` sink.
+//!
+//! Cells are flattened across all requested scenarios into one job list
+//! so a wide grid keeps every core busy even while a narrow one
+//! finishes. Results are reassembled in grid order before `emit`, so the
+//! printed tables are identical however many threads ran.
+
+use crate::results_path;
+use crate::scenario::{CellOutcome, CellSpec, Report, Scale, Scenario};
+use occamy_stats::Json;
+use rayon::prelude::*;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One scenario's finished grid plus its rendered report.
+pub struct ScenarioRun {
+    /// The scenario that ran.
+    pub scenario: &'static dyn Scenario,
+    /// Every cell outcome, in grid order.
+    pub outcomes: Vec<CellOutcome>,
+    /// The rendered tables and notes.
+    pub report: Report,
+}
+
+impl ScenarioRun {
+    /// Sum of per-cell wall-clock times — what a serial runner would
+    /// have spent executing (excludes emit).
+    pub fn serial_cell_time(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.wall).sum()
+    }
+
+    /// The machine-readable report for `BENCH_<name>.json`.
+    ///
+    /// `batch_wall` is the wall-clock time of the whole `execute` call
+    /// that produced this run; cells of several scenarios may have
+    /// interleaved in it, so it is recorded as `batch_wall_ms`, distinct
+    /// from this scenario's own `serial_cell_time_ms`.
+    pub fn to_json(&self, scale: Scale, batch_wall: Duration) -> Json {
+        Json::obj([
+            ("scenario", Json::from(self.scenario.name())),
+            ("description", Json::from(self.scenario.description())),
+            ("scale", Json::from(scale.to_string())),
+            ("cells", Json::from(self.outcomes.len())),
+            (
+                "serial_cell_time_ms",
+                Json::from(self.serial_cell_time().as_millis() as u64),
+            ),
+            ("batch_wall_ms", Json::from(batch_wall.as_millis() as u64)),
+            (
+                "results",
+                Json::arr(self.outcomes.iter().map(|o| {
+                    let Json::Obj(mut fields) = o.spec.to_json() else {
+                        unreachable!("CellSpec::to_json returns an object");
+                    };
+                    let Json::Obj(result) = o.result.to_json() else {
+                        unreachable!("CellResult::to_json returns an object");
+                    };
+                    fields.extend(result);
+                    Json::Obj(fields)
+                })),
+            ),
+            (
+                "tables",
+                Json::arr(self.report.tables().iter().map(|(t, _)| t.to_json())),
+            ),
+            (
+                "notes",
+                Json::arr(self.report.notes().iter().map(|n| Json::from(n.as_str()))),
+            ),
+        ])
+    }
+}
+
+/// Aggregate statistics of one `execute` call.
+pub struct ExecStats {
+    /// Total cells executed.
+    pub cells: usize,
+    /// Wall-clock time of the whole parallel phase.
+    pub wall: Duration,
+    /// Sum of per-cell times (the serial-execution lower bound).
+    pub serial: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Executes the grids of all `scenarios` at `scale` and folds each into
+/// its report. With `parallel = false` cells run on the calling thread
+/// (useful for profiling and as a baseline for the speedup check).
+pub fn execute(
+    scenarios: &[&'static dyn Scenario],
+    scale: Scale,
+    parallel: bool,
+) -> (Vec<ScenarioRun>, ExecStats) {
+    struct Job<'s> {
+        scenario: &'s dyn Scenario,
+        which: usize,
+        spec: CellSpec,
+    }
+
+    let mut jobs: Vec<Job<'static>> = Vec::new();
+    let mut grids: Vec<usize> = Vec::new();
+    for (which, s) in scenarios.iter().enumerate() {
+        let cells = s.grid(scale);
+        assert!(
+            !cells.is_empty(),
+            "scenario '{}' generated an empty grid at scale {scale}",
+            s.name()
+        );
+        grids.push(cells.len());
+        jobs.extend(cells.into_iter().map(|spec| Job {
+            scenario: *s,
+            which,
+            spec,
+        }));
+    }
+
+    let run_one = |job: &Job<'static>| -> (usize, CellOutcome) {
+        let start = Instant::now();
+        let result = job.scenario.run(&job.spec);
+        (
+            job.which,
+            CellOutcome {
+                spec: job.spec.clone(),
+                result,
+                wall: start.elapsed(),
+            },
+        )
+    };
+
+    let started = Instant::now();
+    let raw: Vec<(usize, CellOutcome)> = if parallel {
+        jobs.par_iter().map(run_one).collect()
+    } else {
+        jobs.iter().map(run_one).collect()
+    };
+    let wall = started.elapsed();
+
+    let mut per_scenario: Vec<Vec<CellOutcome>> =
+        grids.iter().map(|&n| Vec::with_capacity(n)).collect();
+    for (which, outcome) in raw {
+        per_scenario[which].push(outcome);
+    }
+    // Job order within a scenario is grid order, and the shim preserves
+    // input order — but sort defensively so emit never sees a permuted
+    // grid even if the parallel backend changes.
+    for outcomes in &mut per_scenario {
+        outcomes.sort_by_key(|o| o.spec.index);
+    }
+
+    let serial = per_scenario.iter().flatten().map(|o| o.wall).sum();
+    let cells = jobs.len();
+
+    let runs = scenarios
+        .iter()
+        .zip(per_scenario)
+        .map(|(scenario, outcomes)| ScenarioRun {
+            scenario: *scenario,
+            report: scenario.emit(&outcomes),
+            outcomes,
+        })
+        .collect();
+
+    let stats = ExecStats {
+        cells,
+        wall,
+        serial,
+        threads: if parallel {
+            rayon::current_num_threads()
+        } else {
+            1
+        },
+    };
+    (runs, stats)
+}
+
+/// Prints a run's tables and notes, mirrors tables to their CSV files
+/// and writes `BENCH_<name>.json`. Returns the JSON path.
+pub fn render(run: &ScenarioRun, scale: Scale, batch_wall: Duration) -> std::io::Result<PathBuf> {
+    println!(
+        "=== {} — {} ({} cells) ===\n",
+        run.scenario.name(),
+        run.scenario.description(),
+        run.outcomes.len()
+    );
+    for (table, csv) in run.report.tables() {
+        table.print();
+        if let Some(csv) = csv {
+            table.to_csv(&results_path(csv))?;
+        }
+    }
+    for note in run.report.notes() {
+        println!("{note}");
+    }
+    let path = PathBuf::from(format!("BENCH_{}.json", run.scenario.name()));
+    run.to_json(scale, batch_wall).write_to(&path)?;
+    println!("\nwrote {}\n", path.display());
+    Ok(path)
+}
+
+/// Prints the closing parallelism summary of an `execute` call.
+pub fn print_stats(stats: &ExecStats) {
+    let speedup = if stats.wall.as_secs_f64() > 0.0 {
+        stats.serial.as_secs_f64() / stats.wall.as_secs_f64()
+    } else {
+        1.0
+    };
+    println!(
+        "ran {} cells on {} threads: {:.2} s wall, {:.2} s total cell time ({speedup:.1}x)",
+        stats.cells,
+        stats.threads,
+        stats.wall.as_secs_f64(),
+        stats.serial.as_secs_f64(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CellResult, Grid, Report, Scale, Scenario};
+    use occamy_stats::Table;
+
+    struct Sleepy;
+
+    impl Scenario for Sleepy {
+        fn name(&self) -> &'static str {
+            "sleepy"
+        }
+        fn description(&self) -> &'static str {
+            "test scenario"
+        }
+        fn grid(&self, scale: Scale) -> Vec<CellSpec> {
+            Grid::new("sleepy", scale).axis("i", 0u64..8).build()
+        }
+        fn run(&self, cell: &CellSpec) -> CellResult {
+            std::thread::sleep(Duration::from_millis(15));
+            CellResult::new().metric("i2", (cell.u64("i") * 2) as f64)
+        }
+        fn emit(&self, outcomes: &[CellOutcome]) -> Report {
+            let mut t = Table::new("doubles", &["i", "i2"]);
+            for o in outcomes {
+                t.row(vec![o.spec.u64("i").to_string(), o.result.fmt("i2")]);
+            }
+            Report::new().table(t).note("done")
+        }
+    }
+
+    #[test]
+    fn execute_returns_grid_order_and_emits() {
+        static S: Sleepy = Sleepy;
+        let (runs, stats) = execute(&[&S], Scale::Smoke, true);
+        assert_eq!(stats.cells, 8);
+        let run = &runs[0];
+        assert_eq!(run.outcomes.len(), 8);
+        for (i, o) in run.outcomes.iter().enumerate() {
+            assert_eq!(o.spec.index, i);
+            assert_eq!(o.result.get("i2"), Some(i as f64 * 2.0));
+        }
+        assert_eq!(run.report.tables().len(), 1);
+        assert_eq!(run.report.notes(), ["done".to_string()]);
+    }
+
+    #[test]
+    fn parallel_beats_serial_cell_time() {
+        // Sleep-bound cells overlap whenever the pool really runs
+        // concurrently, even on a single-core host — so ask for a
+        // multi-thread pool rather than skipping there. Upstream rayon
+        // sizes its global pool once at first use and ignores later env
+        // changes; if the request didn't take (vendor swap-back on a
+        // 1-core host), skip rather than assert a speedup that can't
+        // happen.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        if rayon::current_num_threads() < 2 {
+            return;
+        }
+        static S: Sleepy = Sleepy;
+        let (_, stats) = execute(&[&S, &S], Scale::Smoke, true);
+        assert!(
+            stats.wall < stats.serial,
+            "parallel wall {:?} not below serial cell time {:?}",
+            stats.wall,
+            stats.serial
+        );
+    }
+
+    #[test]
+    fn bench_json_contains_cells_and_tables() {
+        static S: Sleepy = Sleepy;
+        let (runs, stats) = execute(&[&S], Scale::Smoke, false);
+        let json = runs[0].to_json(Scale::Smoke, stats.wall).render();
+        assert!(json.contains("\"scenario\":\"sleepy\""), "{json}");
+        assert!(json.contains("\"i2\":14"), "{json}");
+        assert!(json.contains("\"title\":\"doubles\""), "{json}");
+        assert!(json.contains("\"seed\":"), "{json}");
+    }
+}

@@ -161,7 +161,7 @@ impl TestbedScenario {
     pub fn build(&self) -> World {
         single_switch(SingleSwitchCfg {
             host_rates_bps: vec![self.host_rate_bps; self.n_hosts],
-            prop_ps: 1 * US,
+            prop_ps: US,
             buffer_bytes: self.buffer_bytes,
             classes: self.classes,
             bm: BmSpec {
@@ -394,6 +394,63 @@ impl LeafSpineScenario {
     }
 }
 
+// -------------------------------------------------------------------
+// Tofino-style CBR testbed (paper §6.1, Figs. 3, 11, 12)
+// -------------------------------------------------------------------
+
+/// The P4/Tofino-style CBR micro-testbed of Figs. 3, 11 and 12: two
+/// fast senders (100 G NICs), two 10 G receivers, one shared-buffer
+/// switch — no transport, just constant-bit-rate sources, so queue
+/// dynamics are exactly the paper's whiteboard model.
+#[derive(Debug, Clone)]
+pub struct CbrTestbed {
+    /// Buffer-management scheme.
+    pub bm: BmKind,
+    /// DT/Occamy `α`.
+    pub alpha: f64,
+    /// Shared buffer in bytes (paper: 1.2 MB).
+    pub buffer_bytes: u64,
+    /// Sender NIC rate.
+    pub fast_rate_bps: u64,
+    /// Receiver link rate (the bottleneck).
+    pub slow_rate_bps: u64,
+    /// Simulation parameters.
+    pub sim: SimConfig,
+}
+
+impl CbrTestbed {
+    /// The paper's Tofino testbed constants: 100 G senders, 10 G
+    /// receivers, 1.2 MB shared buffer.
+    pub fn paper_p4(bm: BmKind, alpha: f64) -> Self {
+        CbrTestbed {
+            bm,
+            alpha,
+            buffer_bytes: 1_200_000,
+            fast_rate_bps: 100_000_000_000,
+            slow_rate_bps: 10_000_000_000,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Builds the 4-host world: hosts 0/1 send, hosts 2/3 receive.
+    pub fn build(&self) -> World {
+        single_switch(SingleSwitchCfg {
+            host_rates_bps: vec![
+                self.fast_rate_bps,
+                self.fast_rate_bps,
+                self.slow_rate_bps,
+                self.slow_rate_bps,
+            ],
+            prop_ps: US,
+            buffer_bytes: self.buffer_bytes,
+            classes: 1,
+            bm: BmSpec::uniform(self.bm, self.alpha),
+            sched: SchedKind::Fifo,
+            sim: self.sim.clone(),
+        })
+    }
+}
+
 /// The four schemes of the paper's end-to-end comparison, with their
 /// evaluated `α` values (§6.2): Occamy 8, ABM 2, DT 1, Pushout (no α).
 pub fn evaluated_schemes() -> Vec<(BmKind, f64, &'static str)> {
@@ -403,6 +460,35 @@ pub fn evaluated_schemes() -> Vec<(BmKind, f64, &'static str)> {
         (BmKind::Dt, 1.0, "DT"),
         (BmKind::Pushout, 1.0, "Pushout"),
     ]
+}
+
+/// The scheme names of [`evaluated_schemes`], in table-column order.
+pub fn evaluated_scheme_names() -> Vec<&'static str> {
+    evaluated_schemes().iter().map(|s| s.2).collect()
+}
+
+/// Resolves an evaluated scheme by its display name, returning the
+/// `(kind, α)` pair the paper uses for it.
+pub fn scheme_by_name(name: &str) -> Option<(BmKind, f64)> {
+    evaluated_schemes()
+        .into_iter()
+        .find(|(_, _, n)| *n == name)
+        .map(|(kind, alpha, _)| (kind, alpha))
+}
+
+/// Resolves any buffer-management kind by display name (superset of
+/// [`scheme_by_name`], for scenarios that sweep `α` themselves).
+pub fn bm_kind_by_name(name: &str) -> Option<BmKind> {
+    Some(match name {
+        "Occamy" => BmKind::Occamy,
+        "OccamyLongest" => BmKind::OccamyLongest,
+        "DT" => BmKind::Dt,
+        "ABM" => BmKind::Abm,
+        "Pushout" => BmKind::Pushout,
+        "Static" => BmKind::Static,
+        "CompleteSharing" => BmKind::CompleteSharing,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -447,6 +533,28 @@ mod tests {
     }
 
     #[test]
+    fn scheme_lookup_roundtrips() {
+        for (kind, alpha, name) in evaluated_schemes() {
+            assert_eq!(scheme_by_name(name), Some((kind, alpha)));
+            assert_eq!(bm_kind_by_name(name), Some(kind));
+        }
+        assert_eq!(scheme_by_name("OccamyLongest"), None);
+        assert_eq!(
+            bm_kind_by_name("OccamyLongest"),
+            Some(BmKind::OccamyLongest)
+        );
+        assert_eq!(bm_kind_by_name("nope"), None);
+    }
+
+    #[test]
+    fn cbr_testbed_matches_paper_constants() {
+        let tb = CbrTestbed::paper_p4(BmKind::Occamy, 4.0);
+        assert_eq!(tb.buffer_bytes, 1_200_000);
+        let w = tb.build();
+        assert_eq!(w.hosts.len(), 4);
+    }
+
+    #[test]
     fn tiny_testbed_run_is_sane() {
         // A heavily shortened run must produce finished queries and a
         // deterministic result.
@@ -460,7 +568,7 @@ mod tests {
         });
         s.qps_per_host *= 20.0; // more queries in the short window
         let r1 = s.run();
-        assert!(r1.qct_ms.len() > 0, "no queries finished");
+        assert!(!r1.qct_ms.is_empty(), "no queries finished");
         let r2 = s.run();
         assert_eq!(r1.qct_ms.mean(), r2.qct_ms.mean(), "non-deterministic");
     }

@@ -1,0 +1,46 @@
+//! Registry smoke test: every registered scenario must run end to end
+//! at `Smoke` scale (tiny grids, short sim horizons) and produce
+//! non-empty results and a non-empty report — so a new registry entry
+//! that wedges, panics or measures nothing fails CI immediately.
+
+use occamy_bench::registry::{find_scenario, registry};
+use occamy_bench::runner::execute;
+use occamy_bench::scenario::Scale;
+
+#[test]
+fn every_scenario_runs_to_completion_at_smoke_scale() {
+    let (runs, stats) = execute(registry(), Scale::Smoke, true);
+    assert_eq!(runs.len(), registry().len());
+    assert!(stats.cells > 0);
+    for run in &runs {
+        let name = run.scenario.name();
+        assert!(!run.outcomes.is_empty(), "{name}: empty grid");
+        for o in &run.outcomes {
+            assert!(
+                !o.result.is_empty(),
+                "{name}: cell [{}] produced no metrics or series",
+                o.spec.label()
+            );
+        }
+        let report = &run.report;
+        assert!(
+            report.tables().iter().any(|(t, _)| !t.is_empty()),
+            "{name}: report has no populated table"
+        );
+    }
+}
+
+#[test]
+fn cells_are_deterministic_across_runs() {
+    // The same cell spec must yield identical metrics when re-run — the
+    // property that makes parallel execution order-independent.
+    let scenario = find_scenario("fig13").expect("fig13 registered");
+    let cell = &scenario.grid(Scale::Smoke)[0];
+    let a = scenario.run(cell);
+    let b = scenario.run(cell);
+    assert_eq!(a.metrics(), b.metrics(), "fig13 cell not deterministic");
+    assert!(
+        a.get("queries").unwrap_or(0.0) > 0.0,
+        "no queries completed"
+    );
+}

@@ -106,11 +106,12 @@ mod tests {
 
     #[test]
     fn counters_add_up() {
-        let mut d = DropCounters::default();
-        d.threshold_drops = 3;
-        d.full_drops = 2;
-        d.head_drops = 4;
-        d.pushout_evictions = 1;
+        let d = DropCounters {
+            threshold_drops: 3,
+            full_drops: 2,
+            head_drops: 4,
+            pushout_evictions: 1,
+        };
         assert_eq!(d.tail_drops(), 5);
         assert_eq!(d.total_losses(), 10);
     }

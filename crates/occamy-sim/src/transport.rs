@@ -636,7 +636,7 @@ mod tests {
         assert_eq!(f.cwnd(), c.mss as f64);
         assert_eq!(f.inflight(), 0, "go-back-N resets snd_nxt");
         assert!(f.can_send());
-        let p = f.next_segment(1 * MS, &c);
+        let p = f.next_segment(MS, &c);
         assert_eq!(p.seq, 0);
         // Backoff doubles the effective RTO.
         assert_eq!(f.current_rto(), 2 * c.min_rto);

@@ -73,6 +73,14 @@ pub struct World {
     pub metrics: Metrics,
 }
 
+// The parallel experiment runner builds and runs whole worlds on worker
+// threads; every component must therefore stay `Send` (no `Rc`,
+// `RefCell` or thread-bound state). Enforced at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<World>();
+};
+
 impl World {
     /// Creates a world from pre-built hosts and switches (see
     /// [`crate::topology`] for builders).

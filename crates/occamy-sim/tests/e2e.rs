@@ -13,7 +13,7 @@ const G10: u64 = 10_000_000_000;
 fn testbed(n: usize, bm: BmSpec, buffer: u64) -> World {
     single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G10; n],
-        prop_ps: 1 * US, // 4 µs base RTT through the switch
+        prop_ps: US, // 4 µs base RTT through the switch
         buffer_bytes: buffer,
         classes: 1,
         bm,
@@ -164,7 +164,7 @@ fn occamy_expels_over_allocated_queue_for_newcomer() {
             // Sender ports are 100 G, receiver ports 10 G — the paper's
             // P4 testbed shape.
             host_rates_bps: vec![100_000_000_000, 100_000_000_000, G10, G10],
-            prop_ps: 1 * US,
+            prop_ps: US,
             buffer_bytes: 1_200_000,
             classes: 1,
             bm,
@@ -245,7 +245,7 @@ fn strict_priority_protects_high_class() {
     // Two classes into one receiver port; class 0 has strict priority.
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G10; 3],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 400_000,
         classes: 2,
         bm: BmSpec {

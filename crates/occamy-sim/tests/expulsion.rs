@@ -3,7 +3,9 @@
 //! degeneration.
 
 use occamy_core::BmKind;
-use occamy_sim::topology::{leaf_spine, single_switch, BmSpec, LeafSpineCfg, SchedKind, SingleSwitchCfg};
+use occamy_sim::topology::{
+    leaf_spine, single_switch, BmSpec, LeafSpineCfg, SchedKind, SingleSwitchCfg,
+};
 use occamy_sim::{CbrDesc, CcAlgo, FlowDesc, SimConfig, MS, SEC, US};
 
 const G10: u64 = 10_000_000_000;
@@ -13,7 +15,7 @@ fn entrench_and_burst(sim: SimConfig) -> occamy_sim::World {
     // queue dynamics actually exercise the threshold machinery.
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![100_000_000_000, 100_000_000_000, G10, G10],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 200_000,
         classes: 1,
         bm: BmSpec::uniform(BmKind::Occamy, 8.0),
@@ -96,7 +98,7 @@ fn expulsion_does_not_hurt_throughput() {
     // saturating flow must still achieve full line rate.
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G10; 3],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 100_000,
         classes: 1,
         bm: BmSpec::uniform(BmKind::Occamy, 8.0),
@@ -148,8 +150,8 @@ fn ecmp_spreads_flows_across_spines() {
     ));
     for i in 0..64 {
         w.add_flow(FlowDesc {
-            src: i % 16,            // leaf 0
-            dst: 16 + (i % 16),     // leaf 1
+            src: i % 16,        // leaf 0
+            dst: 16 + (i % 16), // leaf 1
             bytes: 100_000,
             start_ps: 0,
             prio: 0,

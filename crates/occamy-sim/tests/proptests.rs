@@ -84,8 +84,8 @@ proptest! {
             .map(|&n| (0..n).map(|_| Packet::data(0, 0, 1, 0, 100, 0, 0)).collect())
             .collect();
         while let Some(c) = sched.pick(&queues) {
-            for higher in 0..c {
-                prop_assert!(queues[higher].is_empty(), "skipped class {}", higher);
+            for (higher, q) in queues.iter().enumerate().take(c) {
+                prop_assert!(q.is_empty(), "skipped class {}", higher);
             }
             queues[c].pop_front();
         }

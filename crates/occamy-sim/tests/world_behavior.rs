@@ -13,7 +13,7 @@ const G10: u64 = 10_000_000_000;
 fn cbr_budget_is_exact() {
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G10; 2],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 1_000_000,
         classes: 1,
         bm: BmSpec::uniform(BmKind::Dt, 8.0),
@@ -43,7 +43,7 @@ fn cbr_paces_at_configured_rate() {
     // A 5 Gbps source on a 10 Gbps link must take ~2× the line-rate time.
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G10; 2],
-        prop_ps: 1 * NS,
+        prop_ps: NS,
         buffer_bytes: 1_000_000,
         classes: 1,
         bm: BmSpec::uniform(BmKind::Dt, 8.0),
@@ -75,7 +75,7 @@ fn cbr_paces_at_configured_rate() {
 fn sampler_cadence_and_contents() {
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G10; 2],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 500_000,
         classes: 2,
         bm: BmSpec {
@@ -85,7 +85,7 @@ fn sampler_cadence_and_contents() {
         sched: SchedKind::StrictPriority,
         sim: SimConfig::default(),
     });
-    w.add_queue_sampler(0, 0, 100 * US, 1 * MS);
+    w.add_queue_sampler(0, 0, 100 * US, MS);
     w.run_to_completion(2 * MS);
     // Samples at 0, 100 µs, …, 1 ms inclusive = 11.
     assert_eq!(w.metrics.queue_samples.len(), 11);
@@ -106,7 +106,7 @@ fn partitions_isolate_buffer_pressure() {
         hosts_per_leaf: 12, // leaf has 12 down + 2 up = 14 ports → 2 partitions
         host_rate_bps: G10,
         fabric_rate_bps: G10,
-        link_prop_ps: 1 * US,
+        link_prop_ps: US,
         buffer_per_8ports_bytes: 400_000,
         classes: 1,
         bm: BmSpec::uniform(BmKind::Dt, 8.0),
@@ -144,7 +144,7 @@ fn partitions_isolate_buffer_pressure() {
 fn run_until_advances_time_without_events() {
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G10; 2],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 100_000,
         classes: 1,
         bm: BmSpec::uniform(BmKind::Dt, 1.0),
@@ -159,7 +159,7 @@ fn run_until_advances_time_without_events() {
 fn reno_flow_completes_alongside_dctcp() {
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G10; 3],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 400_000,
         classes: 1,
         bm: BmSpec::uniform(BmKind::Dt, 1.0),
@@ -192,7 +192,7 @@ fn ack_prioritization_keeps_reverse_path_alive() {
     // ACK clock running, so both flows finish in bounded time.
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G10; 3],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 400_000,
         classes: 1,
         bm: BmSpec::uniform(BmKind::Dt, 1.0),

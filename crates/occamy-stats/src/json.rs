@@ -1,0 +1,211 @@
+//! Minimal JSON document model for machine-readable experiment reports.
+//!
+//! The build environment has no crates.io access, so `serde`/`serde_json`
+//! are unavailable; this hand-rolled value type covers the one direction
+//! the workspace needs — *emitting* reports — with correct string
+//! escaping and clean integer formatting. Construction is explicit
+//! (`Json::obj`, `Json::arr`, `From` impls) rather than derive-based.
+
+use std::fmt;
+use std::path::Path;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values serialize as `null`.
+    Num(f64),
+    /// An unsigned integer, serialized exactly (f64 would corrupt
+    /// values ≥ 2^53 — e.g. the 64-bit cell seeds in bench reports).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+
+    /// Writes the document to `path` (with a trailing newline), creating
+    /// parent directories as needed.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, format!("{self}\n"))
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::UInt(v) => write!(f, "{v}"),
+            Json::Num(n) if !n.is_finite() => f.write_str("null"),
+            // Integer-valued numbers print without a fraction so counters
+            // and byte sizes read naturally.
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => write!(f, "{}", *n as i64),
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(3u64).render(), "3");
+        assert_eq!(Json::from(1.5).render(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+        assert_eq!(Json::from(Option::<f64>::None).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let doc = Json::obj([
+            ("b", Json::from(1u64)),
+            ("a", Json::arr([Json::from(2u64), Json::Null])),
+        ]);
+        assert_eq!(doc.render(), r#"{"b":1,"a":[2,null]}"#);
+    }
+
+    #[test]
+    fn integers_have_no_fraction() {
+        assert_eq!(Json::from(410_000u64).render(), "410000");
+        assert_eq!(Json::from(0.25).render(), "0.25");
+    }
+
+    #[test]
+    fn u64_is_exact_beyond_f64_precision() {
+        // Cell seeds are raw 64-bit values; f64 would round them.
+        let seed = 17_293_822_569_102_704_642u64;
+        assert_eq!(Json::from(seed).render(), "17293822569102704642");
+        assert_eq!(Json::from(u64::MAX).render(), "18446744073709551615");
+    }
+
+    #[test]
+    fn write_creates_parents() {
+        let dir = std::env::temp_dir().join("occamy_json_test");
+        let path = dir.join("deep").join("report.json");
+        Json::obj([("ok", Json::from(true))])
+            .write_to(&path)
+            .unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, "{\"ok\":true}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

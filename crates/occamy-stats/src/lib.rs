@@ -12,11 +12,13 @@
 #![warn(missing_docs)]
 
 mod cdf;
+mod json;
 mod records;
 mod summary;
 mod table;
 
 pub use cdf::Cdf;
+pub use json::Json;
 pub use records::{FlowClass, FlowRecord, FlowSet, QctRecord, SMALL_FLOW_BYTES};
 pub use summary::Summary;
 pub use table::{write_csv, Table};

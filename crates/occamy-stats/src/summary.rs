@@ -98,6 +98,21 @@ impl Summary {
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
+
+    /// Serializes the summary's headline statistics (count, mean, median,
+    /// p99, min, max) as a JSON object. Takes `&mut self` so the
+    /// percentile sort is done in place and cached, like
+    /// [`Summary::percentile`] — no copy of the samples is made.
+    pub fn to_json(&mut self) -> crate::Json {
+        crate::Json::obj([
+            ("count", crate::Json::from(self.len())),
+            ("mean", crate::Json::from(self.mean())),
+            ("p50", crate::Json::from(self.median())),
+            ("p99", crate::Json::from(self.p99())),
+            ("min", crate::Json::from(self.min())),
+            ("max", crate::Json::from(self.max())),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +161,17 @@ mod tests {
         assert_eq!(s.median(), Some(1.0));
         s.add(0.5);
         assert_eq!(s.percentile(33.0), Some(0.5));
+    }
+
+    #[test]
+    fn json_has_headline_stats() {
+        let mut s = Summary::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        let j = s.to_json().render();
+        assert!(j.contains("\"count\":4"), "{j}");
+        assert!(j.contains("\"mean\":2.5"), "{j}");
+        assert!(j.contains("\"max\":4"), "{j}");
+        let empty = Summary::new().to_json().render();
+        assert!(empty.contains("\"mean\":null"), "{empty}");
     }
 
     #[test]

@@ -80,6 +80,23 @@ impl Table {
         println!("{}", self.render());
     }
 
+    /// Serializes the table (title, columns, rows of strings) as JSON.
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::obj([
+            ("title", crate::Json::from(self.title.as_str())),
+            (
+                "columns",
+                crate::Json::arr(self.columns.iter().map(|c| crate::Json::from(c.as_str()))),
+            ),
+            (
+                "rows",
+                crate::Json::arr(self.rows.iter().map(|row| {
+                    crate::Json::arr(row.iter().map(|c| crate::Json::from(c.as_str())))
+                })),
+            ),
+        ])
+    }
+
     /// Writes the table as CSV to `path`, creating parent directories.
     pub fn to_csv(&self, path: &Path) -> std::io::Result<()> {
         let mut body = String::new();
@@ -123,6 +140,16 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_captures_all_cells() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["1".into(), "x\"y".into()]);
+        assert_eq!(
+            t.to_json().render(),
+            r#"{"title":"T","columns":["a","b"],"rows":[["1","x\"y"]]}"#
+        );
     }
 
     #[test]

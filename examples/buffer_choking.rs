@@ -16,7 +16,7 @@ use occamy_core::BmKind;
 fn qct_ms(kind: BmKind) -> (f64, u64) {
     let mut world = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![10_000_000_000; 8],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 410_000,
         classes: 8,
         bm: BmSpec {

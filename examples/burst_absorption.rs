@@ -19,7 +19,7 @@ const BUFFER: u64 = 1_200_000;
 fn burst_loss(kind: BmKind, alpha: f64, burst_bytes: u64) -> f64 {
     let mut w = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![G100, G100, G10, G10],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: BUFFER,
         classes: 1,
         bm: BmSpec::uniform(kind, alpha),

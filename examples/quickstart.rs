@@ -53,7 +53,7 @@ fn main() {
     // ---------------------------------------------------------------
     let mut world = single_switch(SingleSwitchCfg {
         host_rates_bps: vec![10_000_000_000; 3],
-        prop_ps: 1 * US,
+        prop_ps: US,
         buffer_bytes: 410_000,
         classes: 1,
         bm: BmSpec::uniform(BmKind::Occamy, 8.0),

@@ -110,7 +110,7 @@ fn occamy_beats_dt_on_incast_over_background() {
     let run = |kind: BmKind, alpha: f64| {
         let mut w = single_switch(SingleSwitchCfg {
             host_rates_bps: vec![10_000_000_000; 8],
-            prop_ps: 1 * US,
+            prop_ps: US,
             buffer_bytes: 410_000,
             classes: 1,
             bm: BmSpec::uniform(kind, alpha),
@@ -174,7 +174,7 @@ fn all_schemes_survive_identical_stress() {
     ] {
         let mut w = single_switch(SingleSwitchCfg {
             host_rates_bps: vec![10_000_000_000; 6],
-            prop_ps: 1 * US,
+            prop_ps: US,
             buffer_bytes: 200_000,
             classes: 1,
             bm: BmSpec::uniform(kind, 2.0),

@@ -1,0 +1,215 @@
+//! Offline stand-in for the subset of [`rayon`](https://docs.rs/rayon)
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the one pattern the experiment runner needs —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — behind the same paths
+//! as the real crate. Swapping back to upstream `rayon` is a one-line
+//! change in `Cargo.toml`.
+//!
+//! Implementation: a scoped thread pool with an atomic work cursor, so
+//! long-running items (whole simulation runs, here) are balanced across
+//! threads dynamically rather than pre-chunked. Results come back in
+//! input order, like upstream. Thread count follows
+//! `RAYON_NUM_THREADS` when set, else `std::thread::available_parallelism`.
+//!
+//! Differences from upstream worth knowing: only `par_iter` on slices and
+//! `Vec`, only `map` + `collect`, and no global pool reuse — each
+//! `collect` spins up its own scoped threads. For items that each take
+//! milliseconds or more (our use case) the overhead is negligible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used for parallel execution.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// A pending parallel map over a slice.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+/// The parallel view of a slice, produced by
+/// [`IntoParallelRefIterator::par_iter`].
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Applies `f` to every element in parallel, preserving input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of items behind this iterator.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Runs the map and gathers results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Maps `f` over `items` on a scoped thread pool, returning results in
+/// input order.
+fn run_ordered<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped an item")
+        })
+        .collect()
+}
+
+/// Types convertible into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type handed to closures.
+    type Item: 'data;
+
+    /// Creates the parallel view.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Everything a caller needs: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let input: Vec<u64> = (0..1_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        let out: Vec<u64> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u64];
+        let out: Vec<u64> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        // With more items than threads, at least two distinct thread ids
+        // should appear (unless the host has a single core).
+        if super::current_num_threads() < 2 {
+            return;
+        }
+        let items: Vec<u64> = (0..64).collect();
+        let ids: Vec<String> = items
+            .par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                format!("{:?}", std::thread::current().id())
+            })
+            .collect();
+        let mut unique = ids.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() >= 2, "all work ran on one thread");
+    }
+
+    #[test]
+    fn work_is_balanced_dynamically() {
+        // One expensive item must not serialize the rest behind it: the
+        // cursor hands indices out one at a time.
+        let items: Vec<u64> = (0..32).collect();
+        let sums: Vec<u64> = items
+            .par_iter()
+            .map(|&x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x
+            })
+            .collect();
+        assert_eq!(sums.iter().sum::<u64>(), (0..32).sum());
+    }
+}
