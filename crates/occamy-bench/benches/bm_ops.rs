@@ -43,15 +43,65 @@ fn bench_admit(c: &mut Criterion) {
     group.finish();
 }
 
+/// A partition with `n` queues and a mixed occupancy pattern, with the
+/// scheme's bookkeeping hooks driven as a substrate would.
+fn state_n(n: usize, bm: &mut occamy_core::AnyBm) -> BufferState {
+    let mut s = BufferState::new(n as u64 * 62_500, n);
+    for q in 0..n {
+        let len = (q as u64 * 7_919) % 60_000;
+        if len > 0 {
+            s.enqueue(q, len).unwrap();
+            bm.on_enqueue(q, len, 0, &s);
+        }
+    }
+    s
+}
+
 fn bench_select_victim(c: &mut Criterion) {
+    // Victim selection runs once per expulsion grant — per packet under
+    // congestion. The incremental over-allocation tracker makes it
+    // O(words)/O(1) instead of a full threshold rescan; 64 vs 512 queues
+    // shows the scaling.
     let mut group = c.benchmark_group("select_victim");
-    for kind in [BmKind::Occamy, BmKind::OccamyLongest, BmKind::Pushout] {
-        // A low α guarantees over-allocated queues exist.
-        let mut bm = kind.build(QueueConfig::uniform(64, 100_000_000_000, 0.25));
-        let state = state();
-        group.bench_function(BenchmarkId::from_parameter(bm.name()), |b| {
-            b.iter(|| black_box(bm.select_victim(&state)));
-        });
+    for n in [64usize, 512] {
+        for kind in [BmKind::Occamy, BmKind::OccamyLongest, BmKind::Pushout] {
+            // A low α guarantees over-allocated queues exist.
+            let mut bm = kind.build(QueueConfig::uniform(n, 100_000_000_000, 0.25));
+            let state = state_n(n, &mut bm);
+            group.bench_function(BenchmarkId::new(bm.name(), n), |b| {
+                b.iter(|| black_box(bm.select_victim(&state)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_expel_cycle(c: &mut Criterion) {
+    // The steady-state reactive loop: enqueue (hook), grant a victim,
+    // head-drop one packet (hook) — the per-packet work of an Occamy
+    // partition under sustained congestion, including the incremental
+    // tracker updates.
+    let mut group = c.benchmark_group("expel_cycle");
+    for n in [64usize, 512] {
+        for kind in [BmKind::Occamy, BmKind::OccamyLongest] {
+            let mut bm = kind.build(QueueConfig::uniform(n, 100_000_000_000, 0.25));
+            let mut state = state_n(n, &mut bm);
+            group.bench_function(BenchmarkId::new(bm.name(), n), |b| {
+                let mut q = 0usize;
+                b.iter(|| {
+                    q = (q + 1) % n;
+                    if state.enqueue(q, 1_500).is_ok() {
+                        bm.on_enqueue(q, 1_500, 0, &state);
+                    }
+                    if let Some(v) = bm.select_victim(&state) {
+                        let take = state.queue_len(v).min(1_500);
+                        state.dequeue(v, take).unwrap();
+                        bm.on_dequeue(v, take, 0, &state);
+                    }
+                    black_box(state.total())
+                });
+            });
+        }
     }
     group.finish();
 }
@@ -78,6 +128,6 @@ fn bench_threshold_scaling(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_admit, bench_select_victim, bench_threshold_scaling
+    targets = bench_admit, bench_select_victim, bench_expel_cycle, bench_threshold_scaling
 }
 criterion_main!(benches);

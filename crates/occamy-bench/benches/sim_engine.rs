@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use occamy_core::BmKind;
 use occamy_sim::topology::{single_switch, BmSpec, SchedKind, SingleSwitchCfg};
-use occamy_sim::{CcAlgo, FlowDesc, SimConfig, MS, SEC, US};
+use occamy_sim::{CbrDesc, CcAlgo, FlowDesc, SimConfig, MS, SEC, US};
 use occamy_traffic::{web_search, BackgroundWorkload, QueryWorkload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,6 +38,52 @@ fn incast_world(kind: BmKind) -> u64 {
     }
     w.run_to_completion(SEC);
     w.metrics.delivered_pkts
+}
+
+/// The Tofino-style CBR testbed step loop (the fig11/fig12 substrate):
+/// two constant-bit-rate senders through one shared-buffer switch for
+/// 2 ms of simulated time. Returns events executed, so throughput is
+/// `events / iteration time`.
+fn cbr_step_loop(kind: BmKind) -> u64 {
+    let mut w = single_switch(SingleSwitchCfg {
+        host_rates_bps: vec![
+            100_000_000_000,
+            100_000_000_000,
+            10_000_000_000,
+            10_000_000_000,
+        ],
+        prop_ps: US,
+        buffer_bytes: 1_200_000,
+        classes: 1,
+        bm: BmSpec::uniform(kind, 2.0),
+        sched: SchedKind::Fifo,
+        sim: SimConfig::default(),
+    });
+    for (host, dst, rate) in [(0usize, 2usize, 20_000_000_000u64), (1, 3, 10_000_000_000)] {
+        w.add_cbr(CbrDesc {
+            host,
+            dst,
+            rate_bps: rate,
+            pkt_len: 1_460,
+            prio: 0,
+            start_ps: 0,
+            stop_ps: 2 * MS,
+            budget_bytes: None,
+        });
+    }
+    w.run_to_completion(3 * MS);
+    w.metrics.events_processed
+}
+
+fn bench_cbr_step_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cbr_step_loop");
+    group.sample_size(10);
+    for kind in [BmKind::Dt, BmKind::Occamy] {
+        group.bench_function(format!("2ms_{kind:?}"), |b| {
+            b.iter(|| black_box(cbr_step_loop(kind)));
+        });
+    }
+    group.finish();
 }
 
 fn bench_simulation(c: &mut Criterion) {
@@ -77,6 +123,6 @@ fn bench_workloads(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(8));
-    targets = bench_simulation, bench_workloads
+    targets = bench_cbr_step_loop, bench_simulation, bench_workloads
 }
 criterion_main!(benches);

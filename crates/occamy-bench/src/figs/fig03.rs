@@ -100,6 +100,7 @@ impl Scenario for Fig03 {
             .metric("q2_loss_rate", w.metrics.cbr[1].loss_rate())
             .metric("total_drops", w.metrics.drops.total_losses() as f64)
             .metric("q2_end_bytes", q2_end as f64)
+            .metric("events", w.metrics.events_processed as f64)
             .with_series(series)
     }
 

@@ -133,6 +133,7 @@ impl Scenario for Fig06 {
             .metric("queries", qct.len() as f64)
             .metric_opt("qct_avg_ms", qct.mean())
             .metric_opt("qct_p99_ms", qct.p99())
+            .metric("events", w.metrics.events_processed as f64)
     }
 
     fn emit(&self, outcomes: &[CellOutcome]) -> Report {

@@ -66,8 +66,9 @@ impl Scenario for Fig07 {
         sc.seed = cell.seed;
         scale_leaf_spine(&mut sc, cell.scale);
         let (world, _) = sc.run_world();
-        let mut result =
-            CellResult::new().metric("drops", world.metrics.drop_buffer_util.len() as f64);
+        let mut result = CellResult::new()
+            .metric("drops", world.metrics.drop_buffer_util.len() as f64)
+            .metric("events", world.metrics.events_processed as f64);
         for (prefix, samples) in [
             ("buf", &world.metrics.drop_buffer_util),
             ("bw", &world.metrics.drop_membw_util),

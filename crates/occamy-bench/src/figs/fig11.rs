@@ -101,6 +101,7 @@ impl Scenario for Fig11 {
         CellResult::new()
             .metric("q2_peak_bytes", q2_peak as f64)
             .metric("total_drops", w.metrics.drops.total_losses() as f64)
+            .metric("events", w.metrics.events_processed as f64)
             .with_series(series)
     }
 

@@ -65,7 +65,9 @@ impl Scenario for Fig12 {
             budget_bytes: Some(cell.u64("burst")),
         });
         w.run_to_completion(12 * MS);
-        CellResult::new().metric("loss_rate", w.metrics.cbr[burst].loss_rate())
+        CellResult::new()
+            .metric("loss_rate", w.metrics.cbr[burst].loss_rate())
+            .metric("events", w.metrics.events_processed as f64)
     }
 
     fn emit(&self, outcomes: &[CellOutcome]) -> Report {

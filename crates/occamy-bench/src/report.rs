@@ -44,6 +44,9 @@ pub struct RunResult {
     pub losses: u64,
     /// Flows not finished when the run ended.
     pub unfinished: usize,
+    /// Simulator events executed producing this result (the numerator of
+    /// the events/sec throughput the runner records per cell).
+    pub events: u64,
 }
 
 impl RunResult {
@@ -63,6 +66,7 @@ impl RunResult {
             .metric_opt("small_bg_slowdown_p99", self.small_bg_slowdown.p99())
             .metric("losses", self.losses as f64)
             .metric("unfinished", self.unfinished as f64)
+            .metric("events", self.events as f64)
     }
 
     /// Serializes every distribution summary plus the counters.
@@ -78,12 +82,15 @@ impl RunResult {
             ("small_bg_slowdown", self.small_bg_slowdown.to_json()),
             ("losses", Json::from(self.losses)),
             ("unfinished", Json::from(self.unfinished)),
+            ("events", Json::from(self.events)),
         ])
     }
 }
 
-/// Builds a [`RunResult`] from the flow records of a finished run.
-pub fn aggregate(flows: &FlowSet, ideal: IdealFct, losses: u64) -> RunResult {
+/// Builds a [`RunResult`] from the flow records of a finished run,
+/// recording how many simulator events produced it (from
+/// [`occamy_sim::Metrics::events_processed`]).
+pub fn aggregate(flows: &FlowSet, ideal: IdealFct, losses: u64, events: u64) -> RunResult {
     let bg = |r: &occamy_stats::FlowRecord| r.class == FlowClass::Background;
     let small_bg = |r: &occamy_stats::FlowRecord| {
         r.class == FlowClass::Background && r.bytes < SMALL_FLOW_BYTES
@@ -97,6 +104,7 @@ pub fn aggregate(flows: &FlowSet, ideal: IdealFct, losses: u64) -> RunResult {
         small_bg_fct_ms: flows.fct_ms(small_bg),
         losses,
         unfinished: flows.unfinished(),
+        events,
     }
 }
 
@@ -150,7 +158,7 @@ mod tests {
             bottleneck_bps: 10_000_000_000,
             mss: 1_460,
         };
-        let r = aggregate(&fs, ideal, 3);
+        let r = aggregate(&fs, ideal, 3, 0);
         assert_eq!(r.bg_fct_ms.len(), 2);
         assert_eq!(r.small_bg_fct_ms.len(), 1);
         assert_eq!(r.losses, 3);
@@ -180,7 +188,7 @@ mod tests {
             bottleneck_bps: 10_000_000_000,
             mss: 1_460,
         };
-        let mut r = aggregate(&fs, ideal, 2);
+        let mut r = aggregate(&fs, ideal, 2, 0);
         let json = r.to_json().render();
         assert!(json.contains("\"losses\":2"), "{json}");
         assert!(json.contains("\"bg_fct_ms\""), "{json}");

@@ -9,7 +9,7 @@
 
 use crate::results_path;
 use crate::scenario::{CellOutcome, CellSpec, Report, Scale, Scenario};
-use occamy_stats::Json;
+use occamy_stats::{Json, Table};
 use rayon::prelude::*;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -31,6 +31,26 @@ impl ScenarioRun {
         self.outcomes.iter().map(|o| o.wall).sum()
     }
 
+    /// Total simulator events across all cells (cells that report an
+    /// `events` metric; see `occamy_sim::Metrics::events_processed`).
+    pub fn events_total(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.get("events"))
+            .sum::<f64>() as u64
+    }
+
+    /// Aggregate simulator throughput: total events over total per-cell
+    /// wall time — the headline perf number tracked across PRs.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.serial_cell_time().as_secs_f64();
+        if secs > 0.0 {
+            self.events_total() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
     /// The machine-readable report for `BENCH_<name>.json`.
     ///
     /// `batch_wall` is the wall-clock time of the whole `execute` call
@@ -48,12 +68,21 @@ impl ScenarioRun {
                 Json::from(self.serial_cell_time().as_millis() as u64),
             ),
             ("batch_wall_ms", Json::from(batch_wall.as_millis() as u64)),
+            ("events_total", Json::from(self.events_total())),
+            ("events_per_sec", Json::from(self.events_per_sec())),
             (
                 "results",
                 Json::arr(self.outcomes.iter().map(|o| {
                     let Json::Obj(mut fields) = o.spec.to_json() else {
                         unreachable!("CellSpec::to_json returns an object");
                     };
+                    // Per-cell perf trajectory: wall clock and, when the
+                    // cell counted simulator events, its events/sec.
+                    let (wall_ms, eps) = cell_perf(o);
+                    fields.push(("wall_ms".to_string(), Json::from(wall_ms)));
+                    if let Some(eps) = eps {
+                        fields.push(("events_per_sec".to_string(), Json::from(eps)));
+                    }
                     let Json::Obj(result) = o.result.to_json() else {
                         unreachable!("CellResult::to_json returns an object");
                     };
@@ -175,6 +204,41 @@ pub fn execute(
     (runs, stats)
 }
 
+/// One cell's perf numbers: wall clock in ms and, when the cell counted
+/// simulator events and took measurable time, its events/sec. The single
+/// source for both the `BENCH_<name>.json` cells and the perf CSV.
+fn cell_perf(o: &CellOutcome) -> (f64, Option<f64>) {
+    let wall_ms = o.wall.as_secs_f64() * 1e3;
+    let eps = o
+        .result
+        .get("events")
+        .filter(|_| wall_ms > 0.0)
+        .map(|events| events / (wall_ms / 1e3));
+    (wall_ms, eps)
+}
+
+/// Builds the per-cell performance table (`results/<name>_perf.csv`):
+/// wall clock, simulator events and events/sec for every cell.
+fn perf_table(run: &ScenarioRun) -> Table {
+    let mut t = Table::new(
+        &format!("{} cell performance", run.scenario.name()),
+        &["cell", "params", "wall_ms", "events", "events_per_sec"],
+    );
+    for o in &run.outcomes {
+        let (wall_ms, eps) = cell_perf(o);
+        t.row(vec![
+            o.spec.index.to_string(),
+            o.spec.label(),
+            format!("{wall_ms:.3}"),
+            o.result
+                .get("events")
+                .map_or_else(|| "-".to_string(), |e| format!("{e:.0}")),
+            eps.map_or_else(|| "-".to_string(), |e| format!("{e:.0}")),
+        ]);
+    }
+    t
+}
+
 /// Prints a run's tables and notes, mirrors tables to their CSV files
 /// and writes `BENCH_<name>.json`. Returns the JSON path.
 pub fn render(run: &ScenarioRun, scale: Scale, batch_wall: Duration) -> std::io::Result<PathBuf> {
@@ -192,6 +256,16 @@ pub fn render(run: &ScenarioRun, scale: Scale, batch_wall: Duration) -> std::io:
     }
     for note in run.report.notes() {
         println!("{note}");
+    }
+    perf_table(run).to_csv(&results_path(&format!("{}_perf.csv", run.scenario.name())))?;
+    let events = run.events_total();
+    if events > 0 {
+        println!(
+            "perf: {} — {events} events in {:.1} ms serial cell time = {:.0} events/sec",
+            run.scenario.name(),
+            run.serial_cell_time().as_secs_f64() * 1e3,
+            run.events_per_sec(),
+        );
     }
     let path = PathBuf::from(format!("BENCH_{}.json", run.scenario.name()));
     run.to_json(scale, batch_wall).write_to(&path)?;

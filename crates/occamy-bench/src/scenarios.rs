@@ -210,7 +210,12 @@ impl TestbedScenario {
         self.inject(&mut world);
         world.run_to_completion(self.duration_ps + self.drain_ps);
         let flows = world.flow_records();
-        let result = aggregate(&flows, self.ideal(), world.metrics.drops.total_losses());
+        let result = aggregate(
+            &flows,
+            self.ideal(),
+            world.metrics.drops.total_losses(),
+            world.metrics.events_processed,
+        );
         (world, result)
     }
 }
@@ -389,7 +394,12 @@ impl LeafSpineScenario {
         self.inject(&mut world);
         world.run_to_completion(self.duration_ps + self.drain_ps);
         let flows = world.flow_records();
-        let result = aggregate(&flows, self.ideal(), world.metrics.drops.total_losses());
+        let result = aggregate(
+            &flows,
+            self.ideal(),
+            world.metrics.drops.total_losses(),
+            world.metrics.events_processed,
+        );
         (world, result)
     }
 }

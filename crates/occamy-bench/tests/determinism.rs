@@ -1,0 +1,75 @@
+//! Determinism regression tests for the event-queue compaction.
+//!
+//! The compact event queue (interned packets, deferred setup lane,
+//! 4-ary heap) must preserve the exact `(time, insertion-sequence)`
+//! execution order: two runs of the same registry scenario have to
+//! produce **byte-identical** reports and per-cell metrics, or parallel
+//! cell execution (and every figure table) stops being reproducible.
+
+use occamy_bench::registry::find_scenario;
+use occamy_bench::runner::execute;
+use occamy_bench::scenario::{CellOutcome, Scale};
+
+/// Renders everything deterministic about a finished run: every cell's
+/// metrics/series JSON plus the emitted report tables and notes
+/// (wall-clock timing deliberately excluded).
+fn fingerprint(name: &str, outcomes: &[CellOutcome], report_tables: String) -> String {
+    let mut s = format!("scenario {name}\n");
+    for o in outcomes {
+        s.push_str(&format!(
+            "cell {} [{}] -> {}\n",
+            o.spec.index,
+            o.spec.label(),
+            o.result.to_json().render()
+        ));
+    }
+    s.push_str(&report_tables);
+    s
+}
+
+fn run_fingerprint(name: &str) -> String {
+    let scenario = find_scenario(name).unwrap_or_else(|| panic!("{name} not registered"));
+    let (runs, _) = execute(&[scenario], Scale::Smoke, true);
+    let run = &runs[0];
+    let mut tables = String::new();
+    for (t, _) in run.report.tables() {
+        tables.push_str(&t.render());
+    }
+    for note in run.report.notes() {
+        tables.push_str(note);
+        tables.push('\n');
+    }
+    fingerprint(name, &run.outcomes, tables)
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    // One CBR scenario (pure event-loop dynamics, exercises the Occamy
+    // expulsion path) and one transport scenario (flows, RTO timers,
+    // deferred flow starts).
+    for name in ["fig12", "fig13"] {
+        let a = run_fingerprint(name);
+        let b = run_fingerprint(name);
+        assert_eq!(a, b, "{name}: reports diverged between identical runs");
+        assert!(
+            a.contains("\"events\""),
+            "{name}: cells must report simulator events"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_execution_agree() {
+    let scenario = find_scenario("fig12").expect("fig12 registered");
+    let (serial, _) = execute(&[scenario], Scale::Smoke, false);
+    let (parallel, _) = execute(&[scenario], Scale::Smoke, true);
+    for (a, b) in serial[0].outcomes.iter().zip(&parallel[0].outcomes) {
+        assert_eq!(a.spec.index, b.spec.index);
+        assert_eq!(
+            a.result.to_json().render(),
+            b.result.to_json().render(),
+            "cell [{}] differs between serial and parallel execution",
+            a.spec.label()
+        );
+    }
+}

@@ -107,11 +107,22 @@ pub trait BufferManager {
     fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict;
 
     /// Bookkeeping hook invoked after a packet is enqueued.
+    ///
+    /// Substrates must call this after **every** occupancy increase:
+    /// preemptive schemes maintain their victim-selection state (the
+    /// over-allocation bitmap, longest-queue tournaments) incrementally
+    /// from these hooks instead of rescanning all queues per grant. A
+    /// missed update is caught by a cheap consistency probe inside
+    /// [`BufferManager::select_victim`] (and by debug assertions), at
+    /// the cost of a full rebuild.
     fn on_enqueue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
         let _ = (q, len, now_ns, state);
     }
 
     /// Bookkeeping hook invoked after a packet leaves (dequeue or drop).
+    ///
+    /// Same contract as [`BufferManager::on_enqueue`]: required after
+    /// every occupancy decrease.
     fn on_dequeue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
         let _ = (q, len, now_ns, state);
     }
@@ -172,6 +183,10 @@ impl BmKind {
 /// admission path monomorphic and the simulator `Clone`-able.
 #[derive(Debug, Clone)]
 #[allow(missing_docs)]
+// Occamy's inline victim-selection state makes its variant the largest;
+// one AnyBm exists per buffer partition, so boxing it would only add a
+// pointer chase to the per-packet dispatch.
+#[allow(clippy::large_enum_variant)]
 pub enum AnyBm {
     Dt(DynamicThreshold),
     Occamy(Occamy),
@@ -195,22 +210,27 @@ macro_rules! dispatch {
 }
 
 impl BufferManager for AnyBm {
+    #[inline]
     fn threshold(&self, q: QueueId, state: &BufferState) -> u64 {
         dispatch!(self, bm => bm.threshold(q, state))
     }
 
+    #[inline]
     fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict {
         dispatch!(self, bm => bm.admit(q, len, state))
     }
 
+    #[inline]
     fn on_enqueue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
         dispatch!(self, bm => bm.on_enqueue(q, len, now_ns, state))
     }
 
+    #[inline]
     fn on_dequeue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
         dispatch!(self, bm => bm.on_dequeue(q, len, now_ns, state))
     }
 
+    #[inline]
     fn select_victim(&mut self, state: &BufferState) -> Option<QueueId> {
         dispatch!(self, bm => bm.select_victim(state))
     }

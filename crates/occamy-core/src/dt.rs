@@ -2,6 +2,18 @@
 
 use crate::{BufferManager, BufferState, DropReason, QueueConfig, QueueId, Verdict};
 
+/// The DT admission threshold `trunc(min(α · free, B))` in bytes.
+///
+/// Kept as a free function so the incremental over-allocation tracker
+/// ([`crate::OverAllocTracker`]) evaluates the *same* floating-point
+/// expression as admission — the bitmap must be bit-for-bit identical to
+/// a from-scratch comparator scan.
+#[inline]
+pub(crate) fn dt_threshold(alpha: f64, free: u64, capacity: u64) -> u64 {
+    let t = alpha * free as f64;
+    t.min(capacity as f64) as u64
+}
+
 /// Dynamic Threshold buffer management (Choudhury & Hahne, ToN 1998).
 ///
 /// Every queue is limited by a threshold proportional to the free buffer
@@ -51,11 +63,12 @@ impl DynamicThreshold {
 }
 
 impl BufferManager for DynamicThreshold {
+    #[inline]
     fn threshold(&self, q: QueueId, state: &BufferState) -> u64 {
-        let t = self.cfg.alpha[q] * state.free() as f64;
-        t.min(state.capacity() as f64) as u64
+        dt_threshold(self.cfg.alpha[q], state.free(), state.capacity())
     }
 
+    #[inline]
     fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict {
         if state.total() + len > state.capacity() {
             return Verdict::Drop(DropReason::BufferFull);

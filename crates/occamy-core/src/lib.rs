@@ -49,7 +49,9 @@ mod bitmap;
 mod bm;
 mod dt;
 mod error;
+mod maxtrack;
 mod occamy;
+mod overalloc;
 mod pushout;
 mod rate;
 mod state;
@@ -61,7 +63,9 @@ pub use bitmap::{QueueBitmap, RoundRobinCursor};
 pub use bm::{AnyBm, BmKind, BufferManager, DropReason, QueueConfig, Verdict, VictimPolicy};
 pub use dt::DynamicThreshold;
 pub use error::CoreError;
+pub use maxtrack::MaxTracker;
 pub use occamy::Occamy;
+pub use overalloc::OverAllocTracker;
 pub use pushout::Pushout;
 pub use rate::RateEstimator;
 pub use state::BufferState;

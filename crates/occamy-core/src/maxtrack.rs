@@ -1,0 +1,161 @@
+//! Incremental maximum tracking — the software analogue of the paper's
+//! Maximum Finder (Fig. 4).
+//!
+//! Pushout needs "the longest queue" on every eviction and the
+//! `Occamy-Longest` ablation needs "the longest over-allocated queue" on
+//! every grant. Scanning all queues per decision is O(N); a tournament
+//! tree updates one leaf in O(log N) and answers the maximum in O(1),
+//! which is exactly how the hardware Maximum Finder amortizes its
+//! comparator tree across cycles.
+
+/// A tournament (max) tree over `n` slots holding optional keys.
+///
+/// Empty slots (`None`) lose every comparison. Keys should embed the slot
+/// index (e.g. `(len, Reverse(queue))`) so ties break deterministically
+/// and the winner identifies itself.
+#[derive(Debug, Clone)]
+pub struct MaxTracker<K: Ord + Copy> {
+    /// `tree[base + i]` is leaf `i`; `tree[k]` is the max of its children.
+    tree: Vec<Option<K>>,
+    base: usize,
+    len: usize,
+}
+
+impl<K: Ord + Copy> MaxTracker<K> {
+    /// Creates a tracker with `n` empty slots.
+    pub fn new(n: usize) -> Self {
+        let base = n.next_power_of_two().max(1);
+        MaxTracker {
+            tree: vec![None; 2 * base],
+            base,
+            len: n,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tracker has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets slot `i` to `key` (or clears it with `None`) and replays the
+    /// tournament along the leaf-to-root path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, key: Option<K>) {
+        assert!(i < self.len, "slot {i} out of range {}", self.len);
+        let mut node = self.base + i;
+        self.tree[node] = key;
+        while node > 1 {
+            node /= 2;
+            let replay = self.tree[2 * node].max(self.tree[2 * node + 1]);
+            if self.tree[node] == replay {
+                break;
+            }
+            self.tree[node] = replay;
+        }
+    }
+
+    /// Current key of slot `i`.
+    pub fn get(&self, i: usize) -> Option<K> {
+        self.tree[self.base + i]
+    }
+
+    /// The maximum key over all occupied slots, or `None` if all empty.
+    #[inline]
+    pub fn max(&self) -> Option<K> {
+        self.tree[1]
+    }
+
+    /// Clears every slot.
+    pub fn clear(&mut self) {
+        self.tree.iter_mut().for_each(|k| *k = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+
+    #[test]
+    fn empty_tracker_has_no_max() {
+        let t: MaxTracker<u64> = MaxTracker::new(8);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn max_follows_updates() {
+        let mut t = MaxTracker::new(5);
+        t.set(0, Some(10u64));
+        t.set(3, Some(40));
+        t.set(4, Some(25));
+        assert_eq!(t.max(), Some(40));
+        t.set(3, Some(5));
+        assert_eq!(t.max(), Some(25));
+        t.set(4, None);
+        assert_eq!(t.max(), Some(10));
+        t.set(0, None);
+        assert_eq!(t.max(), Some(5));
+        t.set(3, None);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn ties_break_via_embedded_index() {
+        // (len, Reverse(queue)): equal lengths prefer the lowest queue.
+        let mut t = MaxTracker::new(4);
+        for q in 0..4u32 {
+            t.set(q as usize, Some((7u64, Reverse(q))));
+        }
+        assert_eq!(t.max(), Some((7, Reverse(0))));
+        t.set(0, None);
+        assert_eq!(t.max(), Some((7, Reverse(1))));
+    }
+
+    #[test]
+    fn non_power_of_two_and_single_slot() {
+        let mut t = MaxTracker::new(1);
+        assert_eq!(t.max(), None);
+        t.set(0, Some(3u64));
+        assert_eq!(t.max(), Some(3));
+        let mut t7 = MaxTracker::new(7);
+        for i in 0..7u64 {
+            t7.set(i as usize, Some(i));
+        }
+        assert_eq!(t7.max(), Some(6));
+        t7.clear();
+        assert_eq!(t7.max(), None);
+    }
+
+    #[test]
+    fn matches_naive_scan_under_random_updates() {
+        // Deterministic pseudo-random update sequence.
+        let mut t = MaxTracker::new(13);
+        let mut shadow = vec![None; 13];
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % 13) as usize;
+            let key = if x & 1 == 0 {
+                Some(((x >> 8) % 1_000, Reverse(i as u32)))
+            } else {
+                None
+            };
+            t.set(i, key);
+            shadow[i] = key;
+            assert_eq!(t.max(), shadow.iter().flatten().max().copied());
+        }
+    }
+}

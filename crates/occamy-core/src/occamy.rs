@@ -1,8 +1,8 @@
 //! Occamy — the paper's preemptive buffer management scheme.
 
 use crate::{
-    BufferManager, BufferState, DynamicThreshold, QueueBitmap, QueueConfig, QueueId,
-    RoundRobinCursor, Verdict, VictimPolicy,
+    BufferManager, BufferState, DynamicThreshold, OverAllocTracker, QueueBitmap, QueueConfig,
+    QueueId, RoundRobinCursor, Verdict, VictimPolicy,
 };
 
 /// Occamy: DT admission plus reactive round-robin packet expulsion.
@@ -14,21 +14,31 @@ use crate::{
 ///   free buffer (`B / (1 + αN)`) because the reactive path can vacate
 ///   buffer quickly for newly active queues.
 /// - **Reactive**: a queue is *over-allocated* iff its length exceeds its
-///   current threshold `T(t)`. [`Occamy::select_victim`] maintains the
-///   over-allocation bitmap and grants victims in round-robin order
-///   (Fig. 9); the substrate head-drops one packet from the victim whenever
-///   redundant memory bandwidth is available (see
-///   [`crate::TokenBucket`]).
+///   current threshold `T(t)`. An [`OverAllocTracker`] maintains the
+///   over-allocation bitmap *incrementally* from the
+///   [`BufferManager::on_enqueue`] / [`BufferManager::on_dequeue`]
+///   bookkeeping hooks — the software analogue of the paper's per-cycle
+///   comparator row (§4.3, Fig. 9) — and [`Occamy::select_victim`] grants
+///   victims in round-robin order without recomputing a single threshold.
 ///
 /// Unlike Pushout, admission never waits for an expulsion: `admit` only
 /// ever answers `Accept` or `Drop` (idea 1 of §4.1), so the enqueue
 /// pipeline stays simple.
+///
+/// # Hook contract
+///
+/// The substrate must invoke `on_enqueue` / `on_dequeue` after every
+/// occupancy change, as `occamy-sim` and `occamy-hw` do. A substrate that
+/// mutated the [`BufferState`] behind the scheme's back can call
+/// [`Occamy::resync`]; `select_victim` also re-derives everything from
+/// scratch when its cheap consistency probe (capacity + total occupancy)
+/// detects a missed update.
 #[derive(Debug, Clone)]
 pub struct Occamy {
     dt: DynamicThreshold,
     policy: VictimPolicy,
     cursor: RoundRobinCursor,
-    bitmap: QueueBitmap,
+    tracker: OverAllocTracker,
 }
 
 impl Occamy {
@@ -43,12 +53,18 @@ impl Occamy {
     /// Creates Occamy with an explicit victim policy (the `Longest`
     /// variant is the Fig. 21 ablation).
     pub fn with_policy(cfg: QueueConfig, policy: VictimPolicy) -> Self {
-        let n = cfg.num_queues();
+        let alpha = cfg.alpha.clone();
+        let tracker = match policy {
+            VictimPolicy::RoundRobin => OverAllocTracker::new(alpha),
+            // The ablation needs the longest over-allocated queue, so the
+            // tracker also maintains its max-length tournament.
+            VictimPolicy::Longest => OverAllocTracker::with_longest(alpha),
+        };
         Occamy {
             dt: DynamicThreshold::new(cfg),
             policy,
             cursor: RoundRobinCursor::new(),
-            bitmap: QueueBitmap::new(n),
+            tracker,
         }
     }
 
@@ -57,44 +73,61 @@ impl Occamy {
         self.policy
     }
 
-    /// Rebuilds the over-allocation bitmap from current state.
-    ///
-    /// A queue is over-allocated iff `q(t) > T(t)` (paper §4.3). In
-    /// hardware this is a row of comparators that refresh every cycle; here
-    /// we refresh on demand before each victim grant.
-    fn refresh_bitmap(&mut self, state: &BufferState) {
-        for (q, len) in state.iter() {
-            let over = len > self.dt.threshold(q, state);
-            self.bitmap.set(q, over);
-        }
+    /// Read-only view of the incrementally maintained over-allocation
+    /// bitmap (for instrumentation and tests). Fresh as of the last
+    /// bookkeeping hook or [`Occamy::select_victim`] call.
+    pub fn bitmap(&self) -> &QueueBitmap {
+        self.tracker.bitmap()
     }
 
-    /// Read-only view of the over-allocation bitmap after the last
-    /// [`Occamy::select_victim`] call (for instrumentation and tests).
-    pub fn bitmap(&self) -> &QueueBitmap {
-        &self.bitmap
+    /// Rebuilds the incremental victim-selection state from `state`.
+    ///
+    /// Only needed after mutating the buffer state *without* the
+    /// [`BufferManager`] bookkeeping hooks (the equivalence property
+    /// tests use it to compare against a from-scratch derivation).
+    pub fn resync(&mut self, state: &BufferState) {
+        self.tracker.rebuild(state);
     }
 }
 
 impl BufferManager for Occamy {
+    #[inline]
     fn threshold(&self, q: QueueId, state: &BufferState) -> u64 {
         self.dt.threshold(q, state)
     }
 
+    #[inline]
     fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict {
         // Admission is exactly DT (paper §4.2): no new mechanism, only an
         // adjusted α supplied through the queue configuration.
         self.dt.admit(q, len, state)
     }
 
+    #[inline]
+    fn on_enqueue(&mut self, q: QueueId, _len: u64, _now_ns: u64, state: &BufferState) {
+        self.tracker.on_len_change(q, state);
+    }
+
+    #[inline]
+    fn on_dequeue(&mut self, q: QueueId, _len: u64, _now_ns: u64, state: &BufferState) {
+        self.tracker.on_len_change(q, state);
+    }
+
+    #[inline]
     fn select_victim(&mut self, state: &BufferState) -> Option<QueueId> {
-        self.refresh_bitmap(state);
+        self.tracker.sync(state);
+        debug_assert!(
+            self.tracker.is_consistent_with(state),
+            "over-allocation tracker diverged from buffer state \
+             (bookkeeping hooks not invoked?)"
+        );
+        if self.tracker.over_count() == 0 {
+            // Common case on the per-packet path: nothing over-allocated.
+            return None;
+        }
         match self.policy {
-            VictimPolicy::RoundRobin => self.cursor.grant(&self.bitmap),
-            VictimPolicy::Longest => self
-                .bitmap
-                .iter_ones()
-                .max_by_key(|&q| (state.queue_len(q), std::cmp::Reverse(q))),
+            VictimPolicy::RoundRobin => self.cursor.grant(self.tracker.bitmap()),
+            VictimPolicy::Longest => self.tracker.longest_over(),
         }
     }
 
@@ -119,6 +152,18 @@ mod tests {
         (Occamy::new(cfg), BufferState::new(4_000, 4))
     }
 
+    /// Enqueue plus the bookkeeping hook, as a substrate would do.
+    fn enq(bm: &mut Occamy, state: &mut BufferState, q: QueueId, len: u64) {
+        state.enqueue(q, len).unwrap();
+        bm.on_enqueue(q, len, 0, state);
+    }
+
+    /// Dequeue plus the bookkeeping hook.
+    fn deq(bm: &mut Occamy, state: &mut BufferState, q: QueueId, len: u64) {
+        state.dequeue(q, len).unwrap();
+        bm.on_dequeue(q, len, 0, state);
+    }
+
     #[test]
     fn admission_matches_dt() {
         let (bm, state) = setup(1.0);
@@ -131,7 +176,7 @@ mod tests {
     #[test]
     fn no_victim_when_under_threshold() {
         let (mut bm, mut state) = setup(8.0);
-        state.enqueue(0, 1_000).unwrap();
+        enq(&mut bm, &mut state, 0, 1_000);
         // T = 8 * 3000 = capped at capacity; queue 0 is far below it.
         assert_eq!(bm.select_victim(&state), None);
         assert!(!bm.bitmap().any());
@@ -141,7 +186,7 @@ mod tests {
     fn over_allocated_queue_becomes_victim() {
         let (mut bm, mut state) = setup(1.0);
         // Fill queue 0 to 3000: free = 1000, T = 1000 < 3000 ⇒ over-allocated.
-        state.enqueue(0, 3_000).unwrap();
+        enq(&mut bm, &mut state, 0, 3_000);
         assert_eq!(bm.select_victim(&state), Some(0));
         assert!(bm.bitmap().get(0));
     }
@@ -151,7 +196,7 @@ mod tests {
         let (mut bm, mut state) = setup(0.25);
         // All four queues hold 600; free = 1600, T = 400 ⇒ all over-allocated.
         for q in 0..4 {
-            state.enqueue(q, 600).unwrap();
+            enq(&mut bm, &mut state, q, 600);
         }
         let grants: Vec<_> = (0..8).map(|_| bm.select_victim(&state).unwrap()).collect();
         assert_eq!(grants, vec![0, 1, 2, 3, 0, 1, 2, 3]);
@@ -162,9 +207,9 @@ mod tests {
         let cfg = QueueConfig::uniform(3, 1, 0.25);
         let mut bm = Occamy::with_policy(cfg, VictimPolicy::Longest);
         let mut state = BufferState::new(3_000, 3);
-        state.enqueue(0, 700).unwrap();
-        state.enqueue(1, 900).unwrap();
-        state.enqueue(2, 800).unwrap();
+        enq(&mut bm, &mut state, 0, 700);
+        enq(&mut bm, &mut state, 1, 900);
+        enq(&mut bm, &mut state, 2, 800);
         // free = 600, T = 150: all over-allocated; longest is queue 1.
         assert_eq!(bm.select_victim(&state), Some(1));
         // Longest policy is stateless: repeated calls return the same queue.
@@ -175,9 +220,20 @@ mod tests {
     #[test]
     fn victim_disappears_once_drained_below_threshold() {
         let (mut bm, mut state) = setup(1.0);
-        state.enqueue(0, 3_000).unwrap();
+        enq(&mut bm, &mut state, 0, 3_000);
         assert_eq!(bm.select_victim(&state), Some(0));
         // Drain 2500: queue = 500, free = 3500, T = 3500 ⇒ no longer over.
+        deq(&mut bm, &mut state, 0, 2_500);
+        assert_eq!(bm.select_victim(&state), None);
+    }
+
+    #[test]
+    fn select_victim_resyncs_after_untracked_mutation() {
+        // Mutating the state behind the scheme's back (no hooks) must be
+        // caught by the consistency probe, not silently mis-selected.
+        let (mut bm, mut state) = setup(1.0);
+        state.enqueue(0, 3_000).unwrap();
+        assert_eq!(bm.select_victim(&state), Some(0));
         state.dequeue(0, 2_500).unwrap();
         assert_eq!(bm.select_victim(&state), None);
     }
@@ -190,7 +246,7 @@ mod tests {
         let (mut bm, mut state) = setup(8.0);
         // Entrench queue 0 at its solo steady state: q = αB/(1+α) = 3555.
         while bm.admit(0, 1, &state) == Verdict::Accept {
-            state.enqueue(0, 1).unwrap();
+            enq(&mut bm, &mut state, 0, 1);
         }
         let entrenched = state.queue_len(0);
         assert!(entrenched > 3_500);
@@ -198,11 +254,11 @@ mod tests {
         let mut q1_accepted = 0u64;
         for _ in 0..40_000 {
             if bm.admit(1, 1, &state) == Verdict::Accept {
-                state.enqueue(1, 1).unwrap();
+                enq(&mut bm, &mut state, 1, 1);
                 q1_accepted += 1;
             }
             if let Some(victim) = bm.select_victim(&state) {
-                state.dequeue(victim, 1).unwrap();
+                deq(&mut bm, &mut state, victim, 1);
             }
         }
         // Fair share for 2 congested queues: αB/(1+2α) = 1882.

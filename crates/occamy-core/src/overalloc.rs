@@ -1,0 +1,474 @@
+//! Incremental over-allocation tracking (paper §4.3, Fig. 9 part 1).
+//!
+//! In hardware the over-allocation bitmap is a row of comparators that
+//! refreshes every cycle; the original software port re-derived the whole
+//! bitmap — one threshold computation per queue — on *every* victim
+//! grant, which put an O(N) floating-point scan on the per-packet hot
+//! path. This module maintains the same bitmap incrementally.
+//!
+//! The key observation: queue `q` is over-allocated iff
+//! `len_q > T_q(free) = trunc(min(α_q · free, B))`, and `T_q` is monotone
+//! in the free space. So each queue has a single integer *flip bound*
+//! `bound_q` — the smallest `free` at which it is **not** over-allocated —
+//! and the over-allocated set is exactly `{q : free < bound_q}`. Keeping
+//! the queues sorted by `bound` makes that set a suffix of the order: a
+//! change of free space moves one split index and touches only the queues
+//! whose status actually flipped, and a length change repositions one
+//! queue. Victim selection then never recomputes a threshold at all.
+
+use crate::dt::dt_threshold;
+use crate::maxtrack::MaxTracker;
+use crate::{BufferState, QueueBitmap, QueueId};
+use std::cmp::Reverse;
+
+/// Tie-breaking key for the longest over-allocated queue: maximize
+/// length, break ties toward the lowest queue index.
+type LongestKey = (u64, Reverse<u32>);
+
+/// Incrementally maintained over-allocation state for DT-thresholded
+/// queues (Occamy's reactive path).
+///
+/// Driven by [`OverAllocTracker::on_len_change`] from the buffer-manager
+/// bookkeeping hooks; [`OverAllocTracker::sync`] lazily (re)builds from
+/// scratch when the tracker provably missed an update (capacity or total
+/// occupancy mismatch), so a freshly constructed tracker needs no
+/// explicit initialization.
+#[derive(Debug, Clone)]
+pub struct OverAllocTracker {
+    alpha: Vec<f64>,
+    /// `1/α` per queue, so the per-update flip-bound guess is a multiply
+    /// instead of a divide.
+    inv_alpha: Vec<f64>,
+    /// `k` where `α = 2^k`, for the exact integer flip-bound fast path
+    /// (every configuration in the paper uses power-of-two `α`).
+    pow2: Vec<Option<i8>>,
+    capacity: u64,
+    total: u64,
+    free: u64,
+    lens: Vec<u64>,
+    /// Smallest free-space value at which the queue is *not*
+    /// over-allocated (`0` for an empty queue: it is never a victim).
+    bounds: Vec<u64>,
+    /// Queue ids sorted ascending by `(bound, id)`.
+    order: Vec<u32>,
+    /// Position of each queue in `order`.
+    pos: Vec<u32>,
+    /// First position in `order` whose bound exceeds `free`; everything
+    /// at or after it is over-allocated.
+    split: usize,
+    bitmap: QueueBitmap,
+    /// Longest-over-allocated tournament, maintained only when a caller
+    /// needs it (the `Occamy-Longest` ablation).
+    longest: Option<MaxTracker<LongestKey>>,
+    synced: bool,
+}
+
+impl OverAllocTracker {
+    /// Creates an unsynced tracker for queues with the given `α` values.
+    pub fn new(alpha: Vec<f64>) -> Self {
+        let n = alpha.len();
+        let inv_alpha = alpha.iter().map(|&a| 1.0 / a).collect();
+        let pow2 = alpha.iter().map(|&a| pow2_exponent(a)).collect();
+        OverAllocTracker {
+            alpha,
+            inv_alpha,
+            pow2,
+            capacity: 0,
+            total: 0,
+            free: 0,
+            lens: vec![0; n],
+            bounds: vec![0; n],
+            order: (0..n as u32).collect(),
+            pos: (0..n as u32).collect(),
+            split: n,
+            bitmap: QueueBitmap::new(n),
+            longest: None,
+            synced: false,
+        }
+    }
+
+    /// Like [`OverAllocTracker::new`], additionally maintaining the
+    /// longest over-allocated queue ([`OverAllocTracker::longest_over`]).
+    pub fn with_longest(alpha: Vec<f64>) -> Self {
+        let n = alpha.len();
+        let mut t = Self::new(alpha);
+        t.longest = Some(MaxTracker::new(n));
+        t
+    }
+
+    /// Number of queues tracked.
+    pub fn num_queues(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// The over-allocation bitmap (bit `q` set iff queue `q` exceeds its
+    /// DT threshold at the last synchronized state).
+    #[inline]
+    pub fn bitmap(&self) -> &QueueBitmap {
+        &self.bitmap
+    }
+
+    /// Number of over-allocated queues.
+    #[inline]
+    pub fn over_count(&self) -> usize {
+        self.order.len() - self.split
+    }
+
+    /// The longest over-allocated queue (ties to the lowest index), or
+    /// `None` when nothing is over-allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker was not built with
+    /// [`OverAllocTracker::with_longest`].
+    #[inline]
+    pub fn longest_over(&self) -> Option<QueueId> {
+        let t = self
+            .longest
+            .as_ref()
+            .expect("tracker built without longest-queue tracking");
+        t.max().map(|(_, Reverse(q))| q as QueueId)
+    }
+
+    /// Ensures the tracker matches `state`, rebuilding from scratch when
+    /// the cheap consistency probe (capacity + total occupancy) fails.
+    ///
+    /// Substrates that invoke the [`crate::BufferManager`] bookkeeping
+    /// hooks on every enqueue/dequeue never trigger the rebuild.
+    #[inline]
+    pub fn sync(&mut self, state: &BufferState) {
+        if !self.synced || self.capacity != state.capacity() || self.total != state.total() {
+            self.rebuild(state);
+        }
+    }
+
+    /// Recomputes everything from `state` in O(N log N).
+    pub fn rebuild(&mut self, state: &BufferState) {
+        self.capacity = state.capacity();
+        self.total = state.total();
+        self.free = state.free();
+        for (q, len) in state.iter() {
+            self.lens[q] = len;
+            self.bounds[q] = self.bound_of(q, len);
+        }
+        self.order
+            .sort_unstable_by_key(|&q| (self.bounds[q as usize], q));
+        for (p, &q) in self.order.iter().enumerate() {
+            self.pos[q as usize] = p as u32;
+        }
+        self.split = self
+            .order
+            .partition_point(|&q| self.bounds[q as usize] <= self.free);
+        self.bitmap.clear();
+        if let Some(longest) = &mut self.longest {
+            longest.clear();
+        }
+        for p in self.split..self.order.len() {
+            let q = self.order[p] as usize;
+            self.bitmap.set(q, true);
+            if let Some(longest) = &mut self.longest {
+                longest.set(q, Some((self.lens[q], Reverse(q as u32))));
+            }
+        }
+        self.synced = true;
+    }
+
+    /// Bookkeeping after queue `q`'s length changed (the hook path).
+    ///
+    /// Repositions `q` by its new flip bound, then sweeps the split index
+    /// across the free-space change, touching only the queues whose
+    /// over/under status flipped.
+    #[inline]
+    pub fn on_len_change(&mut self, q: QueueId, state: &BufferState) {
+        if !self.synced || self.capacity != state.capacity() {
+            self.rebuild(state);
+            return;
+        }
+        let len = state.queue_len(q);
+        self.total = state.total();
+        self.lens[q] = len;
+        let bound = self.bound_of(q, len);
+        if bound != self.bounds[q] {
+            self.reposition(q, bound);
+        }
+        self.set_free(state.free());
+        // A length change of a still-over-allocated queue must reach the
+        // longest-queue tournament even when no bit flipped.
+        if let Some(longest) = &mut self.longest {
+            if self.bitmap.get(q) {
+                longest.set(q, Some((len, Reverse(q as u32))));
+            }
+        }
+    }
+
+    #[inline]
+    fn bound_of(&self, q: QueueId, len: u64) -> u64 {
+        match self.pow2[q] {
+            // α = 2^k: the f64 product `α·F` is exact (dyadic times
+            // integer), so the boundary has a closed integer form —
+            // `min F with α·F ≥ len` — and the capacity clamp never
+            // binds because `len ≤ capacity`.
+            Some(k) if len > 0 => {
+                if k >= 0 {
+                    let k = k as u32;
+                    (len + (1u64 << k) - 1) >> k
+                } else {
+                    {
+                        let j = (-k) as u32;
+                        if len.leading_zeros() >= j {
+                            len << j
+                        } else {
+                            u64::MAX
+                        }
+                    }
+                }
+            }
+            _ => flip_bound(len, self.alpha[q], self.inv_alpha[q], self.capacity),
+        }
+    }
+
+    /// Moves `q` to the slot matching its new bound, keeping `order`
+    /// sorted and the split index pointing at the same boundary value.
+    ///
+    /// Single-packet length changes barely move the bound, so the slot
+    /// is found by bubbling from the old position — usually zero or one
+    /// swap — rather than a binary search plus block move.
+    fn reposition(&mut self, q: QueueId, bound: u64) {
+        let old = self.pos[q] as usize;
+        self.bounds[q] = bound;
+        let key = (bound, q as u32);
+        let mut new = old;
+        while new + 1 < self.order.len() {
+            let right = self.order[new + 1];
+            if (self.bounds[right as usize], right) > key {
+                break;
+            }
+            self.order[new] = right;
+            self.pos[right as usize] = new as u32;
+            new += 1;
+        }
+        if new == old {
+            while new > 0 {
+                let left = self.order[new - 1];
+                if (self.bounds[left as usize], left) < key {
+                    break;
+                }
+                self.order[new] = left;
+                self.pos[left as usize] = new as u32;
+                new -= 1;
+            }
+        }
+        self.order[new] = q as u32;
+        self.pos[q] = new as u32;
+        // Removing q shrinks the under-allocated prefix if it lived
+        // there; re-inserting grows it again iff its new bound keeps it
+        // under. Sortedness guarantees the prefix stays contiguous.
+        let was_over = self.bitmap.get(q);
+        if old < self.split {
+            self.split -= 1;
+        }
+        let is_over = bound > self.free;
+        if !is_over {
+            self.split += 1;
+        }
+        if is_over != was_over {
+            self.flip(q, is_over);
+        }
+    }
+
+    /// Moves the split to the new free-space value, flipping exactly the
+    /// queues whose status changed.
+    fn set_free(&mut self, free: u64) {
+        self.free = free;
+        while self.split > 0 && self.bounds[self.order[self.split - 1] as usize] > free {
+            self.split -= 1;
+            let q = self.order[self.split] as usize;
+            self.flip(q, true);
+        }
+        while self.split < self.order.len() && self.bounds[self.order[self.split] as usize] <= free
+        {
+            let q = self.order[self.split] as usize;
+            self.flip(q, false);
+            self.split += 1;
+        }
+    }
+
+    fn flip(&mut self, q: QueueId, over: bool) {
+        self.bitmap.set(q, over);
+        if let Some(longest) = &mut self.longest {
+            longest.set(q, over.then_some((self.lens[q], Reverse(q as u32))));
+        }
+    }
+
+    /// Verifies the incremental state against a from-scratch derivation;
+    /// used by debug assertions and the equivalence property tests.
+    pub fn is_consistent_with(&self, state: &BufferState) -> bool {
+        if !self.synced {
+            return false;
+        }
+        for (q, len) in state.iter() {
+            let over = len > dt_threshold(self.alpha[q], state.free(), state.capacity());
+            if self.bitmap.get(q) != over {
+                return false;
+            }
+            if let Some(longest) = &self.longest {
+                if longest.get(q) != over.then_some((len, Reverse(q as u32))) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// `k` such that `alpha == 2^k` exactly, if any.
+fn pow2_exponent(alpha: f64) -> Option<i8> {
+    if !alpha.is_finite() || alpha <= 0.0 {
+        return None;
+    }
+    let k = alpha.log2().round();
+    if (-60.0..=60.0).contains(&k)
+        && (k as i32 as f64 - k).abs() == 0.0
+        && 2f64.powi(k as i32) == alpha
+    {
+        Some(k as i8)
+    } else {
+        None
+    }
+}
+
+/// The smallest free-space value `F` at which a queue of `len` bytes and
+/// control parameter `alpha` is *not* over-allocated, i.e. satisfies
+/// `len <= trunc(min(alpha * F, capacity))`.
+///
+/// Computed with the *same* floating-point expression as the admission
+/// threshold so the incremental bitmap is bit-for-bit identical to a
+/// from-scratch comparator scan. The predicate is monotone in `F`, so an
+/// f64 guess (`len · 1/α`, within a couple of units of the boundary)
+/// plus a short exact probe in the right direction finds the integer
+/// flip point — one or two threshold evaluations in the common case.
+#[inline]
+fn flip_bound(len: u64, alpha: f64, inv_alpha: f64, capacity: u64) -> u64 {
+    if len == 0 {
+        return 0; // empty queues are never over-allocated
+    }
+    if alpha <= 0.0 {
+        return u64::MAX; // zero threshold: over-allocated at any free
+    }
+    let guess = len as f64 * inv_alpha;
+    if guess >= u64::MAX as f64 {
+        // len > α·u64::MAX ≥ α·free for any representable free space:
+        // over-allocated everywhere (and the walk below must not start
+        // from a saturated cast).
+        return u64::MAX;
+    }
+    let mut f = guess as u64;
+    if len <= dt_threshold(alpha, f, capacity) {
+        while f > 0 && len <= dt_threshold(alpha, f - 1, capacity) {
+            f -= 1;
+        }
+    } else {
+        loop {
+            f += 1;
+            if len <= dt_threshold(alpha, f, capacity) {
+                break;
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_bitmap(alpha: &[f64], state: &BufferState) -> Vec<bool> {
+        state
+            .iter()
+            .map(|(q, len)| len > dt_threshold(alpha[q], state.free(), state.capacity()))
+            .collect()
+    }
+
+    #[test]
+    fn flip_bound_is_exact_boundary() {
+        for &alpha in &[0.25f64, 0.5, 1.0, 2.0, 7.77, 8.0] {
+            for len in [1u64, 7, 100, 999, 4_001, 65_536] {
+                let b = flip_bound(len, alpha, 1.0 / alpha, 1 << 40);
+                assert!(
+                    len <= dt_threshold(alpha, b, 1 << 40),
+                    "α={alpha} len={len}: not ok at bound {b}"
+                );
+                if b > 0 {
+                    assert!(
+                        len > dt_threshold(alpha, b - 1, 1 << 40),
+                        "α={alpha} len={len}: already ok below bound {b}"
+                    );
+                }
+            }
+        }
+        assert_eq!(flip_bound(0, 1.0, 1.0, 1_000), 0);
+        assert_eq!(flip_bound(5, 0.0, f64::INFINITY, 1_000), u64::MAX);
+    }
+
+    #[test]
+    fn tracks_random_walk_exactly() {
+        let alpha = vec![0.5, 1.0, 2.0, 8.0];
+        let mut t = OverAllocTracker::with_longest(alpha.clone());
+        let mut state = BufferState::new(50_000, 4);
+        let mut x = 42u64;
+        for _ in 0..5_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let q = (x % 4) as usize;
+            let amount = x % 3_000 + 1;
+            if x & 8 == 0 {
+                if state.enqueue(q, amount).is_err() {
+                    continue;
+                }
+            } else {
+                let take = amount.min(state.queue_len(q));
+                if take == 0 {
+                    continue;
+                }
+                state.dequeue(q, take).unwrap();
+            }
+            t.on_len_change(q, &state);
+            assert!(t.is_consistent_with(&state));
+            let scratch = scratch_bitmap(&alpha, &state);
+            for (q, &over) in scratch.iter().enumerate() {
+                assert_eq!(t.bitmap().get(q), over);
+            }
+            assert_eq!(t.over_count(), scratch.iter().filter(|&&o| o).count());
+        }
+    }
+
+    #[test]
+    fn lazy_sync_rebuilds_after_untracked_mutation() {
+        let mut t = OverAllocTracker::new(vec![1.0; 3]);
+        let mut state = BufferState::new(3_000, 3);
+        state.enqueue(0, 2_500).unwrap(); // free = 500 < len ⇒ over
+        t.sync(&state);
+        assert!(t.bitmap().get(0));
+        assert!(!t.bitmap().get(1));
+        state.dequeue(0, 2_400).unwrap(); // no hook: total changed
+        t.sync(&state);
+        assert!(!t.bitmap().get(0), "sync must notice the stale total");
+    }
+
+    #[test]
+    fn longest_over_breaks_ties_low() {
+        let mut t = OverAllocTracker::with_longest(vec![0.25; 3]);
+        let mut state = BufferState::new(3_000, 3);
+        for q in 0..3 {
+            state.enqueue(q, 700).unwrap();
+            t.on_len_change(q, &state);
+        }
+        // free = 900, T = 225: all over; equal lengths ⇒ queue 0.
+        assert_eq!(t.longest_over(), Some(0));
+        state.enqueue(2, 100).unwrap();
+        t.on_len_change(2, &state);
+        assert_eq!(t.longest_over(), Some(2));
+        assert!(t.is_consistent_with(&state));
+    }
+}

@@ -14,6 +14,14 @@ pub struct RateEstimator {
     tau_ns: f64,
     rate_bps: f64,
     last_ns: u64,
+    /// Memo of the last `(dt, bytes)` sample and its derived
+    /// `(decay, instantaneous rate)`. Paced traffic (CBR sources, a
+    /// saturated port draining fixed-size packets) repeats the same
+    /// sample shape on every packet, and `exp` was one of the few
+    /// remaining per-packet transcendental calls on the hot path. The
+    /// memo replays the *same* f64 values, so estimates are bit-for-bit
+    /// unchanged.
+    memo: (u64, u64, f64, f64),
 }
 
 impl RateEstimator {
@@ -24,14 +32,23 @@ impl RateEstimator {
             tau_ns: tau_ns as f64,
             rate_bps: initial_bps,
             last_ns: 0,
+            memo: (0, 0, 0.0, 0.0),
         }
     }
 
     /// Records `bytes` transferred at time `now_ns`.
+    #[inline]
     pub fn record(&mut self, bytes: u64, now_ns: u64) {
-        let dt = now_ns.saturating_sub(self.last_ns).max(1) as f64;
-        let w = (-dt / self.tau_ns).exp();
-        let inst_bps = bytes as f64 * 8.0 * 1e9 / dt;
+        let dt_ns = now_ns.saturating_sub(self.last_ns).max(1);
+        let (w, inst_bps) = if (dt_ns, bytes) == (self.memo.0, self.memo.1) {
+            (self.memo.2, self.memo.3)
+        } else {
+            let dt = dt_ns as f64;
+            let w = (-dt / self.tau_ns).exp();
+            let inst_bps = bytes as f64 * 8.0 * 1e9 / dt;
+            self.memo = (dt_ns, bytes, w, inst_bps);
+            (w, inst_bps)
+        };
         self.rate_bps = w * self.rate_bps + (1.0 - w) * inst_bps;
         self.last_ns = now_ns;
     }

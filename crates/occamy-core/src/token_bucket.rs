@@ -36,6 +36,7 @@ impl TokenBucket {
     }
 
     /// Advances the refill clock to `now_ns`.
+    #[inline]
     pub fn advance(&mut self, now_ns: u64) {
         if now_ns > self.last_ns {
             let dt = (now_ns - self.last_ns) as f64;
@@ -53,6 +54,7 @@ impl TokenBucket {
     /// Takes `n` tokens if (and only if) the full amount is available.
     ///
     /// This is the expulsion path: it may only use redundant bandwidth.
+    #[inline]
     pub fn try_take(&mut self, n: f64, now_ns: u64) -> bool {
         self.advance(now_ns);
         if self.balance >= n {
@@ -72,6 +74,7 @@ impl TokenBucket {
     /// a long stretch of transmission at full rate cannot put the
     /// expulsion path arbitrarily far into debt — it merely keeps it
     /// starved while the stretch lasts (§4.5).
+    #[inline]
     pub fn force_take(&mut self, n: f64, now_ns: u64) {
         self.advance(now_ns);
         self.balance = (self.balance - n).max(-self.cap);

@@ -1,10 +1,28 @@
 //! Property-based tests for the buffer-management core.
 
 use occamy_core::{
-    BmKind, BufferManager, BufferState, DynamicThreshold, Occamy, QueueBitmap, QueueConfig,
+    AnyBm, BmKind, BufferManager, BufferState, DynamicThreshold, Occamy, QueueBitmap, QueueConfig,
     RoundRobinCursor, TokenBucket, Verdict,
 };
 use proptest::prelude::*;
+
+/// Forces a from-scratch rebuild of any incremental victim-selection
+/// state (no-op for schemes that keep none).
+fn resync(bm: &mut AnyBm, state: &BufferState) {
+    match bm {
+        AnyBm::Occamy(o) => o.resync(state),
+        AnyBm::Pushout(p) => p.resync(state),
+        _ => {}
+    }
+}
+
+/// The over-allocation bitmap, for schemes that maintain one.
+fn bitmap_bits(bm: &AnyBm, n: usize) -> Option<Vec<bool>> {
+    match bm {
+        AnyBm::Occamy(o) => Some((0..n).map(|q| o.bitmap().get(q)).collect()),
+        _ => None,
+    }
+}
 
 proptest! {
     /// Buffer accounting never loses or invents bytes under arbitrary
@@ -163,6 +181,65 @@ proptest! {
                 "try_take overdrew: {} > {}", taken, generated
             );
             let _ = forced;
+        }
+    }
+
+    /// The incrementally maintained victim state (over-allocation bitmap,
+    /// round-robin grants, longest-queue tournaments) is identical to a
+    /// from-scratch rebuild across random enqueue/dequeue/select
+    /// sequences, for every scheme kind.
+    #[test]
+    fn incremental_victim_state_matches_scratch_rebuild(
+        kind_idx in 0usize..7,
+        alpha in 0.25f64..8.0,
+        ops in prop::collection::vec((0usize..6, 0u64..3, 1u64..4_000), 1..250)
+    ) {
+        let kinds = [
+            BmKind::Dt,
+            BmKind::Occamy,
+            BmKind::OccamyLongest,
+            BmKind::Abm,
+            BmKind::Pushout,
+            BmKind::Static,
+            BmKind::CompleteSharing,
+        ];
+        let kind = kinds[kind_idx];
+        let n = 6;
+        let cfg = QueueConfig::uniform(n, 10_000_000_000, alpha).with_priority(5, 1);
+        // `live` is driven only through the bookkeeping hooks; `scratch`
+        // is force-rebuilt from the state before every answer.
+        let mut live = kind.build(cfg.clone());
+        let mut scratch = kind.build(cfg);
+        let mut state = BufferState::new(20_000, n);
+        for (q, op, len) in ops {
+            match op {
+                0 => {
+                    if state.enqueue(q, len).is_ok() {
+                        live.on_enqueue(q, len, 0, &state);
+                        scratch.on_enqueue(q, len, 0, &state);
+                    }
+                }
+                1 => {
+                    let take = len.min(state.queue_len(q));
+                    if take > 0 {
+                        state.dequeue(q, take).unwrap();
+                        live.on_dequeue(q, take, 0, &state);
+                        scratch.on_dequeue(q, take, 0, &state);
+                    }
+                }
+                _ => {
+                    resync(&mut scratch, &state);
+                    let expect = scratch.select_victim(&state);
+                    let got = live.select_victim(&state);
+                    prop_assert_eq!(got, expect, "victim diverged for {}", live.name());
+                    prop_assert_eq!(
+                        bitmap_bits(&live, n),
+                        bitmap_bits(&scratch, n),
+                        "bitmap diverged for {}",
+                        live.name()
+                    );
+                }
+            }
         }
     }
 

@@ -32,6 +32,9 @@ pub struct CbrSource {
     pub budget_bytes: Option<u64>,
     /// Payload bytes emitted so far.
     pub emitted_bytes: u64,
+    /// Precomputed gap between emissions, fixed at construction (the
+    /// division used to sit on the per-packet emission path).
+    pub interval_ps: Ps,
 }
 
 impl CbrSource {
@@ -60,12 +63,15 @@ impl CbrSource {
         )
     }
 
-    /// Gap between emissions at the configured rate (paced on wire size).
+    /// Gap between emissions at the configured rate (paced on wire
+    /// size), as precomputed into `interval_ps`.
     pub fn emit_interval(&self) -> Ps {
-        tx_time_ps(
-            self.pkt_len as u64 + crate::packet::HDR_BYTES,
-            self.rate_bps,
-        )
+        self.interval_ps
+    }
+
+    /// The emission gap for a `pkt_len`-byte payload at `rate_bps`.
+    pub fn interval_for(pkt_len: u32, rate_bps: u64) -> Ps {
+        tx_time_ps(pkt_len as u64 + crate::packet::HDR_BYTES, rate_bps)
     }
 }
 
@@ -86,6 +92,7 @@ mod tests {
             stop_ps: 100 * US,
             budget_bytes: budget,
             emitted_bytes: 0,
+            interval_ps: CbrSource::interval_for(1_460, 10_000_000_000),
         }
     }
 
@@ -118,5 +125,6 @@ mod tests {
         let s = source(None);
         // 1500 wire bytes at 10 Gbps = 1.2 µs.
         assert_eq!(s.emit_interval(), 1_200_000);
+        assert_eq!(CbrSource::interval_for(1_460, 10_000_000_000), 1_200_000);
     }
 }

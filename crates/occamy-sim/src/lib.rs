@@ -67,9 +67,9 @@ mod world;
 
 pub use cbr::CbrSource;
 pub use config::SimConfig;
-pub use event::{Event, EventQueue, NodeId};
+pub use event::{Event, EventQueue, NodeId, PacketId};
 pub use host::{Host, HostLink};
-pub use metrics::{CbrCounters, DropCounters, Metrics, QueueSample};
+pub use metrics::{CbrCounters, DropCounters, Metrics, QueueSample, SampleLog};
 pub use packet::{FlowId, Packet, PacketKind, HDR_BYTES};
 pub use routing::{ecmp_hash, RoutingTable};
 pub use scheduler::Scheduler;

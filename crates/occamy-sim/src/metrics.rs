@@ -2,9 +2,10 @@
 
 use crate::time::Ps;
 
-/// One periodic sample of a buffer partition (paper Fig. 11 time series).
-#[derive(Debug, Clone)]
-pub struct QueueSample {
+/// One periodic sample of a buffer partition (paper Fig. 11 time
+/// series), borrowing its per-queue columns from the [`SampleLog`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueueSample<'a> {
     /// Sample time.
     pub t: Ps,
     /// Switch sampled.
@@ -12,9 +13,85 @@ pub struct QueueSample {
     /// Partition sampled.
     pub partition: usize,
     /// Per-queue byte lengths.
-    pub qlens: Vec<u64>,
+    pub qlens: &'a [u64],
     /// Per-queue admission thresholds `T(t)`.
-    pub thresholds: Vec<u64>,
+    pub thresholds: &'a [u64],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SampleMeta {
+    t: Ps,
+    switch: u32,
+    partition: u32,
+    offset: usize,
+    queues: usize,
+}
+
+/// Append-only store of periodic queue samples.
+///
+/// Columns are flattened into two shared arrays instead of two fresh
+/// `Vec`s per sample tick — the sampler was one of the few remaining
+/// per-event allocation sites in the hot loop. Read back through
+/// [`SampleLog::iter`] / [`SampleLog::get`], which reconstruct per-sample
+/// [`QueueSample`] views.
+#[derive(Debug, Clone, Default)]
+pub struct SampleLog {
+    meta: Vec<SampleMeta>,
+    qlens: Vec<u64>,
+    thresholds: Vec<u64>,
+}
+
+impl SampleLog {
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Appends one sample at time `t`. Both iterators must yield one
+    /// item per queue, in queue order, and agree in length (checked by
+    /// a debug assertion).
+    pub fn record(
+        &mut self,
+        t: Ps,
+        switch: usize,
+        partition: usize,
+        qlens: impl IntoIterator<Item = u64>,
+        thresholds: impl IntoIterator<Item = u64>,
+    ) {
+        let offset = self.qlens.len();
+        self.qlens.extend(qlens);
+        self.thresholds.extend(thresholds);
+        debug_assert_eq!(self.thresholds.len(), self.qlens.len());
+        self.meta.push(SampleMeta {
+            t,
+            switch: switch as u32,
+            partition: partition as u32,
+            offset,
+            queues: self.qlens.len() - offset,
+        });
+    }
+
+    /// The `i`-th sample.
+    pub fn get(&self, i: usize) -> QueueSample<'_> {
+        let m = self.meta[i];
+        QueueSample {
+            t: m.t,
+            switch: m.switch as usize,
+            partition: m.partition as usize,
+            qlens: &self.qlens[m.offset..m.offset + m.queues],
+            thresholds: &self.thresholds[m.offset..m.offset + m.queues],
+        }
+    }
+
+    /// Iterates over all samples in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = QueueSample<'_>> {
+        (0..self.meta.len()).map(|i| self.get(i))
+    }
 }
 
 /// Aggregate drop/expulsion counters.
@@ -78,13 +155,16 @@ pub struct Metrics {
     /// (paper Fig. 7b).
     pub drop_membw_util: Vec<f64>,
     /// Periodic queue-length samples (paper Fig. 11).
-    pub queue_samples: Vec<QueueSample>,
+    pub queue_samples: SampleLog,
     /// Per-CBR-source delivery counters (paper Fig. 12).
     pub cbr: Vec<CbrCounters>,
     /// Total data packets delivered to hosts.
     pub delivered_pkts: u64,
     /// Total data bytes delivered to hosts.
     pub delivered_bytes: u64,
+    /// Events executed by [`crate::World::step`] — the denominator of the
+    /// simulator's events/sec throughput metric.
+    pub events_processed: u64,
 }
 
 impl Metrics {
@@ -137,5 +217,22 @@ mod tests {
         assert_eq!(m.drops.full_drops, 1);
         assert_eq!(m.drop_buffer_util, vec![0.8, 0.99]);
         assert_eq!(m.drop_membw_util, vec![0.5, 0.7]);
+    }
+
+    #[test]
+    fn sample_log_roundtrips_flat_columns() {
+        let mut log = SampleLog::default();
+        assert!(log.is_empty());
+        log.record(10, 0, 1, [5, 6, 7], [50, 60, 70]);
+        log.record(20, 2, 0, [1, 2], [10, 20]);
+        assert_eq!(log.len(), 2);
+        let s0 = log.get(0);
+        assert_eq!((s0.t, s0.switch, s0.partition), (10, 0, 1));
+        assert_eq!(s0.qlens, &[5, 6, 7]);
+        assert_eq!(s0.thresholds, &[50, 60, 70]);
+        let s1 = log.get(1);
+        assert_eq!(s1.qlens, &[1, 2]);
+        assert_eq!(s1.thresholds, &[10, 20]);
+        assert_eq!(log.iter().count(), 2);
     }
 }

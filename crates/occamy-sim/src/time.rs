@@ -20,7 +20,9 @@ pub const SEC: Ps = 1_000_000_000_000;
 
 /// Serialization time of `bytes` on a link of `rate_bps`, in picoseconds.
 ///
-/// Computed in `u128` so that any realistic byte count and rate are exact.
+/// Exact for any byte count and rate: packet-sized transfers stay in a
+/// single `u64` division (this sits on the per-packet hot path, twice per
+/// hop), with a `u128` fallback for byte counts above ~2 MB.
 ///
 /// # Panics
 ///
@@ -28,7 +30,10 @@ pub const SEC: Ps = 1_000_000_000_000;
 #[inline]
 pub fn tx_time_ps(bytes: u64, rate_bps: u64) -> Ps {
     assert!(rate_bps > 0, "link rate must be positive");
-    ((bytes as u128 * 8 * SEC as u128) / rate_bps as u128) as Ps
+    match bytes.checked_mul(8 * SEC) {
+        Some(bits_ps) => bits_ps / rate_bps,
+        None => ((bytes as u128 * 8 * SEC as u128) / rate_bps as u128) as Ps,
+    }
 }
 
 /// Converts picoseconds to nanoseconds (for the `occamy-core` hooks).

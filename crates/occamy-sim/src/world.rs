@@ -3,7 +3,7 @@
 use crate::cbr::CbrSource;
 use crate::event::{Event, EventQueue, NodeId};
 use crate::host::Host;
-use crate::metrics::{CbrCounters, Metrics, QueueSample};
+use crate::metrics::{CbrCounters, Metrics};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::switch::Switch;
 use crate::time::{ps_to_ns, tx_time_ps, Ps, NS};
@@ -54,6 +54,16 @@ pub struct CbrDesc {
     pub budget_bytes: Option<u64>,
 }
 
+/// A registered periodic queue-length sampler (see
+/// [`World::add_queue_sampler`]).
+#[derive(Debug, Clone, Copy)]
+struct SamplerSpec {
+    switch: usize,
+    partition: usize,
+    interval: Ps,
+    until: Ps,
+}
+
 /// The simulation world.
 pub struct World {
     /// Current simulation time.
@@ -69,6 +79,8 @@ pub struct World {
     pub flows: Vec<FlowState>,
     /// All CBR sources ever added.
     pub cbrs: Vec<CbrSource>,
+    /// Registered queue samplers.
+    samplers: Vec<SamplerSpec>,
     /// Collected measurements.
     pub metrics: Metrics,
 }
@@ -93,6 +105,7 @@ impl World {
             switches,
             flows: Vec::new(),
             cbrs: Vec::new(),
+            samplers: Vec::new(),
             metrics: Metrics::default(),
         }
     }
@@ -117,7 +130,10 @@ impl World {
         f.query = d.query;
         f.is_query = d.is_query;
         self.flows.push(f);
-        self.events.push(d.start_ps, Event::FlowStart { flow: id });
+        // Workloads inject thousands of flow starts before the loop
+        // spins up: keep them off the runtime heap.
+        self.events
+            .push_deferred(d.start_ps, Event::FlowStart { flow: id });
         id
     }
 
@@ -136,24 +152,25 @@ impl World {
             stop_ps: d.stop_ps,
             budget_bytes: d.budget_bytes,
             emitted_bytes: 0,
+            interval_ps: CbrSource::interval_for(d.pkt_len, d.rate_bps),
         });
         self.metrics.cbr.push(CbrCounters::default());
-        self.events.push(d.start_ps, Event::CbrEmit { source: id });
+        self.events
+            .push_deferred(d.start_ps, Event::CbrEmit { source: id as u32 });
         id
     }
 
     /// Registers a periodic queue-length sampler over one partition
     /// (paper Fig. 11 time series).
     pub fn add_queue_sampler(&mut self, switch: usize, partition: usize, interval: Ps, until: Ps) {
-        self.events.push(
-            0,
-            Event::Sample {
-                switch,
-                partition,
-                interval,
-                until,
-            },
-        );
+        let sampler = self.samplers.len() as u32;
+        self.samplers.push(SamplerSpec {
+            switch,
+            partition,
+            interval,
+            until,
+        });
+        self.events.push_deferred(0, Event::Sample { sampler });
     }
 
     // ---------------------------------------------------------------
@@ -165,24 +182,37 @@ impl World {
         let Some((t, ev)) = self.events.pop() else {
             return false;
         };
+        self.execute(t, ev);
+        true
+    }
+
+    #[inline]
+    fn execute(&mut self, t: Ps, ev: Event) {
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
+        self.metrics.events_processed += 1;
         match ev {
-            Event::Arrive { node, pkt } => match node {
-                NodeId::Host(h) => self.host_rx(h, pkt),
-                NodeId::Switch(s) => self.switch_rx(s, pkt),
-            },
+            Event::Arrive { node, pkt } => {
+                let pkt = self.events.take_packet(pkt);
+                match node {
+                    NodeId::Host(h) => self.host_rx(h, pkt),
+                    NodeId::Switch(s) => self.switch_rx(s, pkt),
+                }
+            }
             Event::PortFree { switch, port } => {
-                self.switches[switch].ports[port].tx_busy = false;
-                self.port_pump(switch, port);
+                let (s, port) = (switch as usize, port as usize);
+                self.switches[s].ports[port].tx_busy = false;
+                self.port_pump(s, port);
             }
             Event::HostTxFree { host } => {
-                self.hosts[host].tx_busy = false;
-                self.host_pump(host);
+                let h = host as usize;
+                self.hosts[h].tx_busy = false;
+                self.host_pump(h);
             }
             Event::ExpelRetry { switch, partition } => {
-                self.switches[switch].partitions[partition].expel_armed = false;
-                self.try_expel(switch, partition);
+                let (s, pa) = (switch as usize, partition as usize);
+                self.switches[s].partitions[pa].expel_armed = false;
+                self.try_expel(s, pa);
             }
             Event::Rto { flow } => self.rto_fire(flow),
             Event::FlowStart { flow } => {
@@ -192,35 +222,23 @@ impl World {
                 self.hosts[h].mark_ready(&mut self.flows, flow);
                 self.host_pump(h);
             }
-            Event::CbrEmit { source } => self.cbr_emit(source),
-            Event::Sample {
-                switch,
-                partition,
-                interval,
-                until,
-            } => self.sample(switch, partition, interval, until),
+            Event::CbrEmit { source } => self.cbr_emit(source as usize),
+            Event::Sample { sampler } => self.sample(sampler),
         }
-        true
     }
 
     /// Runs until simulated time `t` (events at exactly `t` included).
     pub fn run_until(&mut self, t: Ps) {
-        while let Some(next) = self.events.peek_time() {
-            if next > t {
-                break;
-            }
-            self.step();
+        while let Some((at, ev)) = self.events.pop_at_most(t) {
+            self.execute(at, ev);
         }
         self.now = self.now.max(t);
     }
 
     /// Runs until the event queue drains or `limit` is reached.
     pub fn run_to_completion(&mut self, limit: Ps) {
-        while let Some(next) = self.events.peek_time() {
-            if next > limit {
-                break;
-            }
-            self.step();
+        while let Some((at, ev)) = self.events.pop_at_most(limit) {
+            self.execute(at, ev);
         }
     }
 
@@ -305,16 +323,16 @@ impl World {
             c.sent_pkts += 1;
             c.sent_bytes += pkt.len as u64;
         }
-        let link = self.hosts[h].link;
+        let host = &mut self.hosts[h];
+        let link = host.link;
         let ser = tx_time_ps(pkt.wire_bytes(), link.rate_bps);
-        self.hosts[h].tx_busy = true;
-        self.events.push(now + ser, Event::HostTxFree { host: h });
-        self.events.push(
+        host.tx_busy = true;
+        self.events
+            .push(now + ser, Event::HostTxFree { host: h as u32 });
+        self.events.push_arrival(
             now + ser + link.prop_ps,
-            Event::Arrive {
-                node: NodeId::Switch(link.to_switch),
-                pkt,
-            },
+            NodeId::Switch(link.to_switch),
+            pkt,
         );
     }
 
@@ -355,25 +373,39 @@ impl World {
 
     fn cbr_emit(&mut self, source: usize) {
         let now = self.now;
-        if !self.cbrs[source].active(now) {
+        let src = &mut self.cbrs[source];
+        if !src.active(now) {
             return;
         }
-        let pkt = self.cbrs[source].emit(now);
-        let h = self.cbrs[source].host;
+        let pkt = src.emit(now);
+        let h = src.host;
         self.hosts[h].cbr_queue.push_back(pkt);
         self.host_pump(h);
-        let next = now + self.cbrs[source].emit_interval();
-        if self.cbrs[source].active(next) {
-            self.events.push(next, Event::CbrEmit { source });
+        let src = &self.cbrs[source];
+        let next = now + src.emit_interval();
+        if src.active(next) {
+            self.events.push(
+                next,
+                Event::CbrEmit {
+                    source: source as u32,
+                },
+            );
         }
     }
 
     // ---------------------------------------------------------------
     // Switches
     // ---------------------------------------------------------------
+    //
+    // The switch-side handlers borrow their switch exactly once per
+    // event and thread it through free helper functions; the old
+    // `self.switches[s]` re-borrow per sub-step showed up in profiles.
 
     fn switch_rx(&mut self, s: usize, mut pkt: Packet) {
-        let now_ns = ps_to_ns(self.now);
+        let now = self.now;
+        let now_ns = ps_to_ns(now);
+        let ecn_k = self.cfg.ecn_k_bytes;
+        let cell = self.cfg.cell_bytes;
         let sw = &mut self.switches[s];
         let port = sw.routing.port_for(pkt.dst as usize, pkt.flow);
         let class = (pkt.prio as usize).min(sw.classes - 1);
@@ -384,210 +416,229 @@ impl World {
 
         match part.bm.admit(qidx, wire, &part.state) {
             Verdict::Accept => {
-                self.enqueue_packet(s, port, class, pa, qidx, pkt);
-                self.port_pump(s, port);
-                if self.switches[s].partitions[pa].reactive {
-                    self.try_expel(s, pa);
+                enqueue_in(sw, pa, port, class, qidx, pkt, ecn_k, now_ns);
+                pump_port(sw, &mut self.events, cell, now, s, port);
+                if sw.partitions[pa].reactive {
+                    try_expel_in(sw, &mut self.events, &mut self.metrics, cell, now, s, pa);
                 }
             }
             Verdict::Evict => {
                 // Pushout: synchronously evict from the longest queue
                 // until the newcomer fits (paper §2.2).
-                while self.switches[s].partitions[pa].state.free() < wire {
-                    let victim = {
-                        let part = &mut self.switches[s].partitions[pa];
-                        part.bm.select_victim(&part.state)
+                while sw.partitions[pa].state.free() < wire {
+                    let part = &mut sw.partitions[pa];
+                    let Some(v) = part.bm.select_victim(&part.state) else {
+                        break;
                     };
-                    let Some(v) = victim else { break };
-                    if !self.head_drop(s, pa, v, now_ns) {
+                    if !head_drop_in(sw, pa, v, now_ns) {
                         break;
                     }
                     self.metrics.drops.pushout_evictions += 1;
                 }
-                if self.switches[s].partitions[pa].state.free() >= wire {
-                    self.enqueue_packet(s, port, class, pa, qidx, pkt);
-                    self.port_pump(s, port);
+                if sw.partitions[pa].state.free() >= wire {
+                    enqueue_in(sw, pa, port, class, qidx, pkt, ecn_k, now_ns);
+                    pump_port(sw, &mut self.events, cell, now, s, port);
                 } else {
-                    self.record_admission_drop(s, pa, false);
+                    record_drop_in(sw, &mut self.metrics, pa, now_ns, false);
                 }
             }
             Verdict::Drop(reason) => {
                 let threshold = reason == DropReason::OverThreshold;
-                self.record_admission_drop(s, pa, threshold);
-                if self.switches[s].partitions[pa].reactive {
-                    self.try_expel(s, pa);
+                record_drop_in(sw, &mut self.metrics, pa, now_ns, threshold);
+                if sw.partitions[pa].reactive {
+                    try_expel_in(sw, &mut self.events, &mut self.metrics, cell, now, s, pa);
                 }
                 let _ = &mut pkt; // dropped
             }
         }
     }
 
-    fn enqueue_packet(
-        &mut self,
-        s: usize,
-        port: usize,
-        class: usize,
-        pa: usize,
-        qidx: usize,
-        mut pkt: Packet,
-    ) {
-        let now_ns = ps_to_ns(self.now);
-        let wire = pkt.wire_bytes();
-        let ecn_k = self.cfg.ecn_k_bytes;
-        let sw = &mut self.switches[s];
-        let part = &mut sw.partitions[pa];
-        part.state
-            .enqueue(qidx, wire)
-            .expect("BM admitted beyond capacity");
-        part.bm.on_enqueue(qidx, wire, now_ns, &part.state);
-        sw.write_rate.record(wire, now_ns);
-        // DCTCP marking: CE when the instantaneous queue exceeds K.
-        if pkt.kind == PacketKind::Data && part.state.queue_len(qidx) > ecn_k {
-            pkt.ce = true;
-        }
-        sw.ports[port].queues[class].push_back(pkt);
-    }
-
-    fn record_admission_drop(&mut self, s: usize, pa: usize, threshold: bool) {
-        let now_ns = ps_to_ns(self.now);
-        let sw = &self.switches[s];
-        let part = &sw.partitions[pa];
-        let util = part.state.total() as f64 / part.state.capacity() as f64;
-        let membw = sw.membw_util(now_ns);
-        self.metrics.record_drop(threshold, util, membw);
-    }
-
-    /// Removes the head packet of partition-local queue `qidx` without
-    /// transmitting it. Returns `false` if the queue was empty.
-    fn head_drop(&mut self, s: usize, pa: usize, qidx: usize, now_ns: u64) -> bool {
-        let (port, class) = self.switches[s].queue_location(pa, qidx);
-        let sw = &mut self.switches[s];
-        let Some(pkt) = sw.ports[port].queues[class].pop_front() else {
-            return false;
-        };
-        let wire = pkt.wire_bytes();
-        let part = &mut sw.partitions[pa];
-        part.state
-            .dequeue(qidx, wire)
-            .expect("queue accounting out of sync");
-        part.bm.on_dequeue(qidx, wire, now_ns, &part.state);
-        // A head drop costs PD/cell-pointer bandwidth, which the token
-        // bucket charges, but never touches the cell data memory, so the
-        // read-rate estimator (data path) is not updated (paper §3.2).
-        true
-    }
-
     fn port_pump(&mut self, s: usize, port: usize) {
-        if self.switches[s].ports[port].tx_busy {
-            return;
-        }
         let now = self.now;
-        let now_ns = ps_to_ns(now);
         let cell = self.cfg.cell_bytes;
-        let sw = &mut self.switches[s];
-        let p = &mut sw.ports[port];
-        let Some(class) = p.sched.pick(&p.queues) else {
-            return;
-        };
-        let pkt = p.queues[class]
-            .pop_front()
-            .expect("scheduler picked an empty queue");
-        let wire = pkt.wire_bytes();
-        let pa = sw.port_partition[port];
-        let qidx = sw.queue_index(port, class);
-        let part = &mut sw.partitions[pa];
-        part.state
-            .dequeue(qidx, wire)
-            .expect("queue accounting out of sync");
-        part.bm.on_dequeue(qidx, wire, now_ns, &part.state);
-        // TX has absolute priority on memory bandwidth: it may drive the
-        // expulsion token balance negative (fixed-priority arbiter, §4.3).
-        part.tb.force_take(wire.div_ceil(cell) as f64, now_ns);
-        sw.read_rate.record(wire, now_ns);
-        let link = sw.ports[port].link;
-        sw.ports[port].tx_busy = true;
-        let ser = tx_time_ps(wire, link.rate_bps);
-        self.events
-            .push(now + ser, Event::PortFree { switch: s, port });
-        self.events.push(
-            now + ser + link.prop_ps,
-            Event::Arrive { node: link.to, pkt },
-        );
+        pump_port(&mut self.switches[s], &mut self.events, cell, now, s, port);
     }
 
     /// Occamy's reactive expulsion process: head-drop from over-allocated
     /// queues while redundant memory bandwidth is available.
     fn try_expel(&mut self, s: usize, pa: usize) {
-        if !self.switches[s].partitions[pa].reactive {
-            return;
-        }
-        let now_ns = ps_to_ns(self.now);
+        let now = self.now;
         let cell = self.cfg.cell_bytes;
-        loop {
-            let victim = {
-                let part = &mut self.switches[s].partitions[pa];
-                part.bm.select_victim(&part.state)
-            };
-            let Some(v) = victim else { return };
-            // Cost of expelling the head packet, in cells.
-            let (port, class) = self.switches[s].queue_location(pa, v);
-            let Some(head_wire) = self.switches[s].ports[port].queues[class]
-                .front()
-                .map(|p| p.wire_bytes())
-            else {
-                return;
-            };
-            let cells = head_wire.div_ceil(cell) as f64;
-            let part = &mut self.switches[s].partitions[pa];
-            if part.tb.try_take(cells, now_ns) {
-                self.head_drop(s, pa, v, now_ns);
-                self.metrics.drops.head_drops += 1;
-            } else {
-                // Not enough redundant bandwidth now: retry once the
-                // bucket has refilled enough for this packet. A `None`
-                // means the request can never be satisfied (zero-rate
-                // ablation or a cap below one packet): leave disarmed and
-                // let the next enqueue re-evaluate.
-                if !part.expel_armed {
-                    if let Some(wait_ns) = part.tb.time_until(cells, now_ns) {
-                        part.expel_armed = true;
-                        self.events.push(
-                            self.now.saturating_add(wait_ns.max(1).saturating_mul(NS)),
-                            Event::ExpelRetry {
-                                switch: s,
-                                partition: pa,
-                            },
-                        );
-                    }
-                }
-                return;
-            }
-        }
+        try_expel_in(
+            &mut self.switches[s],
+            &mut self.events,
+            &mut self.metrics,
+            cell,
+            now,
+            s,
+            pa,
+        );
     }
 
-    fn sample(&mut self, switch: usize, partition: usize, interval: Ps, until: Ps) {
-        let part = &self.switches[switch].partitions[partition];
-        let qlens: Vec<u64> = part.state.iter().map(|(_, l)| l).collect();
-        let thresholds: Vec<u64> = (0..part.state.num_queues())
-            .map(|q| part.bm.threshold(q, &part.state))
-            .collect();
-        self.metrics.queue_samples.push(QueueSample {
-            t: self.now,
+    fn sample(&mut self, sampler: u32) {
+        let SamplerSpec {
             switch,
             partition,
-            qlens,
-            thresholds,
-        });
+            interval,
+            until,
+        } = self.samplers[sampler as usize];
+        let part = &self.switches[switch].partitions[partition];
+        self.metrics.queue_samples.record(
+            self.now,
+            switch,
+            partition,
+            part.state.iter().map(|(_, l)| l),
+            (0..part.state.num_queues()).map(|q| part.bm.threshold(q, &part.state)),
+        );
         if self.now + interval <= until {
-            self.events.push(
-                self.now + interval,
-                Event::Sample {
-                    switch,
-                    partition,
-                    interval,
-                    until,
-                },
-            );
+            self.events
+                .push(self.now + interval, Event::Sample { sampler });
+        }
+    }
+}
+
+/// Enqueues an admitted packet into its partition and port queue,
+/// applying DCTCP CE marking.
+#[allow(clippy::too_many_arguments)]
+fn enqueue_in(
+    sw: &mut Switch,
+    pa: usize,
+    port: usize,
+    class: usize,
+    qidx: usize,
+    mut pkt: Packet,
+    ecn_k: u64,
+    now_ns: u64,
+) {
+    let wire = pkt.wire_bytes();
+    let part = &mut sw.partitions[pa];
+    part.state
+        .enqueue(qidx, wire)
+        .expect("BM admitted beyond capacity");
+    part.bm.on_enqueue(qidx, wire, now_ns, &part.state);
+    let qlen = part.state.queue_len(qidx);
+    sw.write_rate.record(wire, now_ns);
+    // DCTCP marking: CE when the instantaneous queue exceeds K.
+    if pkt.kind == PacketKind::Data && qlen > ecn_k {
+        pkt.ce = true;
+    }
+    sw.ports[port].queues[class].push_back(pkt);
+}
+
+/// Records a refused arrival with its utilization context.
+fn record_drop_in(sw: &Switch, metrics: &mut Metrics, pa: usize, now_ns: u64, threshold: bool) {
+    let part = &sw.partitions[pa];
+    let util = part.state.total() as f64 / part.state.capacity() as f64;
+    let membw = sw.membw_util(now_ns);
+    metrics.record_drop(threshold, util, membw);
+}
+
+/// Removes the head packet of partition-local queue `qidx` without
+/// transmitting it. Returns `false` if the queue was empty.
+fn head_drop_in(sw: &mut Switch, pa: usize, qidx: usize, now_ns: u64) -> bool {
+    let (port, class) = sw.queue_location(pa, qidx);
+    let Some(pkt) = sw.ports[port].queues[class].pop_front() else {
+        return false;
+    };
+    let wire = pkt.wire_bytes();
+    let part = &mut sw.partitions[pa];
+    part.state
+        .dequeue(qidx, wire)
+        .expect("queue accounting out of sync");
+    part.bm.on_dequeue(qidx, wire, now_ns, &part.state);
+    // A head drop costs PD/cell-pointer bandwidth, which the token
+    // bucket charges, but never touches the cell data memory, so the
+    // read-rate estimator (data path) is not updated (paper §3.2).
+    true
+}
+
+/// Dequeues and transmits the scheduler's pick on an idle egress port.
+fn pump_port(sw: &mut Switch, events: &mut EventQueue, cell: u64, now: Ps, s: usize, port: usize) {
+    if sw.ports[port].tx_busy {
+        return;
+    }
+    let now_ns = ps_to_ns(now);
+    let p = &mut sw.ports[port];
+    let Some(class) = p.sched.pick(&p.queues) else {
+        return;
+    };
+    let pkt = p.queues[class]
+        .pop_front()
+        .expect("scheduler picked an empty queue");
+    let wire = pkt.wire_bytes();
+    let pa = sw.port_partition[port];
+    let qidx = sw.queue_index(port, class);
+    let part = &mut sw.partitions[pa];
+    part.state
+        .dequeue(qidx, wire)
+        .expect("queue accounting out of sync");
+    part.bm.on_dequeue(qidx, wire, now_ns, &part.state);
+    // TX has absolute priority on memory bandwidth: it may drive the
+    // expulsion token balance negative (fixed-priority arbiter, §4.3).
+    part.tb.force_take(wire.div_ceil(cell) as f64, now_ns);
+    sw.read_rate.record(wire, now_ns);
+    let p = &mut sw.ports[port];
+    let link = p.link;
+    p.tx_busy = true;
+    let ser = tx_time_ps(wire, link.rate_bps);
+    events.push(
+        now + ser,
+        Event::PortFree {
+            switch: s as u32,
+            port: port as u32,
+        },
+    );
+    events.push_arrival(now + ser + link.prop_ps, link.to, pkt);
+}
+
+/// Occamy's reactive expulsion loop over one partition.
+fn try_expel_in(
+    sw: &mut Switch,
+    events: &mut EventQueue,
+    metrics: &mut Metrics,
+    cell: u64,
+    now: Ps,
+    s: usize,
+    pa: usize,
+) {
+    if !sw.partitions[pa].reactive {
+        return;
+    }
+    let now_ns = ps_to_ns(now);
+    loop {
+        let part = &mut sw.partitions[pa];
+        let Some(v) = part.bm.select_victim(&part.state) else {
+            return;
+        };
+        // Cost of expelling the head packet, in cells.
+        let (port, class) = sw.queue_location(pa, v);
+        let Some(head_wire) = sw.ports[port].queues[class].front().map(|p| p.wire_bytes()) else {
+            return;
+        };
+        let cells = head_wire.div_ceil(cell) as f64;
+        let part = &mut sw.partitions[pa];
+        if part.tb.try_take(cells, now_ns) {
+            head_drop_in(sw, pa, v, now_ns);
+            metrics.drops.head_drops += 1;
+        } else {
+            // Not enough redundant bandwidth now: retry once the
+            // bucket has refilled enough for this packet. A `None`
+            // means the request can never be satisfied (zero-rate
+            // ablation or a cap below one packet): leave disarmed and
+            // let the next enqueue re-evaluate.
+            if !part.expel_armed {
+                if let Some(wait_ns) = part.tb.time_until(cells, now_ns) {
+                    part.expel_armed = true;
+                    events.push(
+                        now.saturating_add(wait_ns.max(1).saturating_mul(NS)),
+                        Event::ExpelRetry {
+                            switch: s as u32,
+                            partition: pa as u32,
+                        },
+                    );
+                }
+            }
+            return;
         }
     }
 }

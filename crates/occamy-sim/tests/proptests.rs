@@ -11,15 +11,22 @@ proptest! {
     fn event_queue_is_stable(times in prop::collection::vec(0u64..1_000, 1..300)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
-            q.push(t, Event::HostTxFree { host: i });
+            // Exercise both lanes: even insertions go through the heap,
+            // odd ones through the deferred (setup-time) lane. Global
+            // (time, insertion) order must hold regardless.
+            if i % 2 == 0 {
+                q.push(t, Event::HostTxFree { host: i as u32 });
+            } else {
+                q.push_deferred(t, Event::HostTxFree { host: i as u32 });
+            }
         }
-        let mut last: Option<(u64, usize)> = None;
+        let mut last: Option<(u64, u32)> = None;
         while let Some((t, ev)) = q.pop() {
             let Event::HostTxFree { host } = ev else { unreachable!() };
             if let Some((lt, lh)) = last {
                 prop_assert!(t > lt || (t == lt && host > lh), "instability at t = {}", t);
             }
-            prop_assert_eq!(times[host], t, "event time corrupted");
+            prop_assert_eq!(times[host as usize], t, "event time corrupted");
             last = Some((t, host));
         }
     }

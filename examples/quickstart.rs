@@ -17,9 +17,12 @@ fn main() {
     let mut bm = Occamy::new(cfg);
     let mut state = BufferState::new(410_000, 8);
 
-    // Entrench queue 0 at its solo steady state αB/(1+α).
+    // Entrench queue 0 at its solo steady state αB/(1+α). The bookkeeping
+    // hooks keep Occamy's incremental over-allocation tracker in sync, as
+    // a real substrate would on every enqueue/dequeue.
     while bm.admit(0, 1_500, &state) == Verdict::Accept {
         state.enqueue(0, 1_500).unwrap();
+        bm.on_enqueue(0, 1_500, 0, &state);
     }
     println!(
         "queue 0 entrenched at {} KB of a {} KB buffer (threshold now {} KB)",
@@ -35,9 +38,11 @@ fn main() {
     for _ in 0..200 {
         if bm.admit(1, 1_500, &state) == Verdict::Accept {
             state.enqueue(1, 1_500).unwrap();
+            bm.on_enqueue(1, 1_500, 0, &state);
         }
         if let Some(victim) = bm.select_victim(&state) {
             state.dequeue(victim, 1_500).unwrap();
+            bm.on_dequeue(victim, 1_500, 0, &state);
             expelled += 1;
         }
     }
