@@ -19,7 +19,12 @@
 //!   fabric of Figs. 7, 17–23, dimension-scaled to keep each data point
 //!   seconds of wall clock) and [`scenarios::CbrTestbed`] (the Tofino
 //!   CBR micro-testbed of Figs. 3, 11, 12);
-//! - [`report`] — ideal-FCT model and result aggregation.
+//! - [`report`] — ideal-FCT model and result aggregation;
+//! - [`fabric`] — the topology-generic [`fabric::FabricScenario`]
+//!   (leaf-spine / fat-tree / 3-tier with an oversubscription knob);
+//! - [`spec_scenario`] — compiles declarative `occamy-spec` documents
+//!   (`occamy-bench run --spec file.toml`) into registry-compatible
+//!   scenarios over `FabricScenario`.
 //!
 //! # CLI
 //!
@@ -37,12 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod figs;
 pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;
+pub mod spec_scenario;
 
 /// Returns `true` when quick mode is requested via `OCCAMY_QUICK=1`
 /// (shorter runs for CI / smoke testing).

@@ -1,19 +1,22 @@
 //! The `occamy-bench` CLI: lists and runs registered scenarios.
 //!
 //! ```text
-//! occamy-bench list
-//! occamy-bench run <name...> [--quick|--smoke] [--serial] [--threads N]
+//! occamy-bench list [--spec FILE...]
+//! occamy-bench run <name...> [--spec FILE...] [--quick|--smoke] [--serial] [--threads N]
 //! occamy-bench all [--quick|--smoke] [--serial] [--threads N]
 //! ```
 //!
 //! `run`/`all` execute the selected scenarios' grid cells in parallel
 //! across worker threads, print each scenario's tables and shape-check
 //! notes, mirror tables to `results/*.csv` and write one machine-readable
-//! `BENCH_<name>.json` per scenario.
+//! `BENCH_<name>.json` per scenario. `--spec` loads a declarative
+//! TOML/JSON scenario description (see `specs/` and the `occamy-spec`
+//! crate) as a first-class scenario next to the static registry.
 
 use occamy_bench::registry::{find_scenario, registry};
 use occamy_bench::runner;
 use occamy_bench::scenario::{Scale, Scenario};
+use occamy_bench::spec_scenario::SpecScenario;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -25,6 +28,8 @@ commands:
   all                  run every registered scenario
 
 options:
+  --spec FILE          load a declarative scenario spec (.toml/.json);
+                       repeatable; runs alongside any named scenarios
   --quick              reduced sweeps and durations (also: OCCAMY_QUICK=1)
   --smoke              near-trivial grids (seconds; used by the smoke test)
   --serial             execute cells on one thread (baseline / profiling)
@@ -34,6 +39,7 @@ options:
 struct Args {
     command: String,
     names: Vec<String>,
+    specs: Vec<&'static SpecScenario>,
     scale: Scale,
     parallel: bool,
 }
@@ -41,6 +47,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut command = None;
     let mut names = Vec::new();
+    let mut specs = Vec::new();
     let mut scale = Scale::from_env();
     let mut parallel = true;
     let mut args = std::env::args().skip(1);
@@ -49,6 +56,10 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => scale = Scale::Quick,
             "--smoke" => scale = Scale::Smoke,
             "--serial" => parallel = false,
+            "--spec" => {
+                let path = args.next().ok_or("--spec needs a file path")?;
+                specs.push(SpecScenario::load(&path)?);
+            }
             "--threads" => {
                 let n = args
                     .next()
@@ -71,12 +82,13 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         command: command.ok_or("missing command")?,
         names,
+        specs,
         scale,
         parallel,
     })
 }
 
-fn list(scale: Scale) {
+fn list(scale: Scale, specs: &[&'static SpecScenario]) {
     println!(
         "registered scenarios ({}, {scale} scale):\n",
         registry().len()
@@ -89,7 +101,18 @@ fn list(scale: Scale) {
             s.description()
         );
     }
-    println!("\nrun one with: occamy-bench run <name>   (or `all`)");
+    if !specs.is_empty() {
+        println!("\nloaded specs ({}):\n", specs.len());
+        for s in specs {
+            println!(
+                "  {:<22} {:>3} cells  {}",
+                s.name(),
+                s.grid(scale).len(),
+                s.description()
+            );
+        }
+    }
+    println!("\nrun one with: occamy-bench run <name>   (or `all`, or `run --spec file.toml`)");
 }
 
 fn run(scenarios: Vec<&'static dyn Scenario>, scale: Scale, parallel: bool) -> ExitCode {
@@ -118,16 +141,24 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "list" => {
-            list(args.scale);
+            list(args.scale, &args.specs);
             ExitCode::SUCCESS
         }
-        "all" => run(registry().to_vec(), args.scale, args.parallel),
+        "all" => {
+            let mut selected: Vec<&'static dyn Scenario> = registry().to_vec();
+            selected.extend(args.specs.iter().map(|s| *s as &'static dyn Scenario));
+            run(selected, args.scale, args.parallel)
+        }
         "run" => {
-            if args.names.is_empty() {
-                eprintln!("error: `run` needs at least one scenario name\n\n{USAGE}");
+            if args.names.is_empty() && args.specs.is_empty() {
+                eprintln!("error: `run` needs at least one scenario name or --spec\n\n{USAGE}");
                 return ExitCode::from(2);
             }
-            let mut selected = Vec::new();
+            let mut selected: Vec<&'static dyn Scenario> = args
+                .specs
+                .iter()
+                .map(|s| *s as &'static dyn Scenario)
+                .collect();
             for name in &args.names {
                 match find_scenario(name) {
                     Some(s) => selected.push(s),

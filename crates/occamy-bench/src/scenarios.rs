@@ -48,6 +48,16 @@ pub enum BgPattern {
         /// Offered load fraction.
         load: f64,
     },
+    /// Repeated permutation rounds (host `i` → host `(i+shift) mod n`)
+    /// at `load` — the fully load-balanced ablation pattern.
+    Permutation {
+        /// Per-host flow size.
+        flow_bytes: u64,
+        /// Offered load fraction.
+        load: f64,
+        /// Destination shift (normalized so no host sends to itself).
+        shift: usize,
+    },
 }
 
 // -------------------------------------------------------------------
@@ -241,8 +251,13 @@ pub struct LeafSpineScenario {
     pub leaves: usize,
     /// Hosts per leaf.
     pub hosts_per_leaf: usize,
-    /// Link rate (hosts and fabric).
+    /// Host access-link rate.
     pub link_rate_bps: u64,
+    /// Leaf↔spine link rate (the paper's fabric is non-blocking:
+    /// `paper_scaled` sets it equal to the host rate).
+    pub fabric_rate_bps: u64,
+    /// One-way propagation per link.
+    pub link_prop_ps: Ps,
     /// Shared buffer per 8 ports.
     pub buffer_per_8ports: u64,
     /// Background traffic.
@@ -277,6 +292,8 @@ impl LeafSpineScenario {
             leaves: 4,
             hosts_per_leaf: 8,
             link_rate_bps: 25_000_000_000,
+            fabric_rate_bps: 25_000_000_000,
+            link_prop_ps: 10 * US,
             buffer_per_8ports: 1_000_000,
             bg: BgPattern::WebSearch { load: 0.9 },
             query_bytes: 400_000,
@@ -314,8 +331,8 @@ impl LeafSpineScenario {
             leaves: self.leaves,
             hosts_per_leaf: self.hosts_per_leaf,
             host_rate_bps: self.link_rate_bps,
-            fabric_rate_bps: self.link_rate_bps,
-            link_prop_ps: 10 * US,
+            fabric_rate_bps: self.fabric_rate_bps,
+            link_prop_ps: self.link_prop_ps,
             buffer_per_8ports_bytes: self.buffer_per_8ports,
             classes: 1,
             bm: BmSpec {
@@ -329,57 +346,17 @@ impl LeafSpineScenario {
 
     /// Injects background and query traffic.
     pub fn inject(&self, world: &mut World) {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let n = self.n_hosts();
-        match &self.bg {
-            BgPattern::None => {}
-            BgPattern::WebSearch { load } => {
-                let wl = BackgroundWorkload::new(n, self.link_rate_bps, *load, web_search());
-                for f in wl.generate(self.duration_ps, &mut rng) {
-                    world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
-                }
-            }
-            BgPattern::AllToAll { flow_bytes, load } => {
-                // One round sends (n−1)·flow_bytes per host; pace rounds
-                // so the offered per-host load matches `load`.
-                let per_host = (n as u64 - 1) * flow_bytes;
-                let interval =
-                    (per_host as f64 * 8.0 / (load * self.link_rate_bps as f64) * 1e12) as Ps;
-                let mut t = 0;
-                while t < self.duration_ps {
-                    for f in occamy_traffic::all_to_all(n, *flow_bytes, t) {
-                        world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
-                    }
-                    t += interval.max(1);
-                }
-            }
-            BgPattern::AllReduce { flow_bytes, load } => {
-                // Each round moves ≤ 2·flow_bytes up and down per rank
-                // (two trees); the busiest host link carries ~4 flows.
-                let dbt = occamy_traffic::DoubleBinaryTree::new(n);
-                let per_host = 4 * flow_bytes;
-                let interval =
-                    (per_host as f64 * 8.0 / (load * self.link_rate_bps as f64) * 1e12) as Ps;
-                let bcast_off =
-                    (flow_bytes * 8).saturating_mul(1_000_000_000_000) / self.link_rate_bps;
-                let mut t = 0;
-                while t < self.duration_ps {
-                    for f in dbt.flows(*flow_bytes, t, bcast_off) {
-                        world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
-                    }
-                    t += interval.max(1);
-                }
-            }
-        }
-        if self.qps_per_host > 0.0 {
-            let warmup = self.duration_ps / 10;
-            let qw = QueryWorkload::new(n, self.query_fanout, self.query_bytes, self.qps_per_host);
-            for q in qw.generate(self.duration_ps - warmup, &mut rng) {
-                for f in &q.responses {
-                    world.add_flow(spec_to_flow(f, 0, CcAlgo::Dctcp, warmup));
-                }
-            }
-        }
+        inject_fabric_workload(
+            world,
+            self.n_hosts(),
+            self.link_rate_bps,
+            &self.bg,
+            self.query_bytes,
+            self.query_fanout,
+            self.qps_per_host,
+            self.duration_ps,
+            self.seed,
+        );
     }
 
     /// Builds, injects, runs and aggregates.
@@ -401,6 +378,92 @@ impl LeafSpineScenario {
             world.metrics.events_processed,
         );
         (world, result)
+    }
+}
+
+/// Injects one fabric workload — a background pattern plus the incast
+/// query process — into `world`. Shared by [`LeafSpineScenario`] and
+/// [`crate::fabric::FabricScenario`] so a declarative spec run over a
+/// fat-tree draws exactly the same flow sequence a hand-coded leaf-spine
+/// figure would (byte-for-byte reproducibility across topologies).
+///
+/// RNG draw order is part of the contract: background flows first, then
+/// queries over `[warmup, duration)` with `warmup = duration / 10`.
+#[allow(clippy::too_many_arguments)]
+pub fn inject_fabric_workload(
+    world: &mut World,
+    n: usize,
+    link_rate_bps: u64,
+    bg: &BgPattern,
+    query_bytes: u64,
+    query_fanout: usize,
+    qps_per_host: f64,
+    duration_ps: Ps,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match bg {
+        BgPattern::None => {}
+        BgPattern::WebSearch { load } => {
+            let wl = BackgroundWorkload::new(n, link_rate_bps, *load, web_search());
+            for f in wl.generate(duration_ps, &mut rng) {
+                world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
+            }
+        }
+        BgPattern::AllToAll { flow_bytes, load } => {
+            // One round sends (n−1)·flow_bytes per host; pace rounds
+            // so the offered per-host load matches `load`.
+            let per_host = (n as u64 - 1) * flow_bytes;
+            let interval = (per_host as f64 * 8.0 / (load * link_rate_bps as f64) * 1e12) as Ps;
+            let mut t = 0;
+            while t < duration_ps {
+                for f in occamy_traffic::all_to_all(n, *flow_bytes, t) {
+                    world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
+                }
+                t += interval.max(1);
+            }
+        }
+        BgPattern::AllReduce { flow_bytes, load } => {
+            // Each round moves ≤ 2·flow_bytes up and down per rank
+            // (two trees); the busiest host link carries ~4 flows.
+            let dbt = occamy_traffic::DoubleBinaryTree::new(n);
+            let per_host = 4 * flow_bytes;
+            let interval = (per_host as f64 * 8.0 / (load * link_rate_bps as f64) * 1e12) as Ps;
+            let bcast_off = (flow_bytes * 8).saturating_mul(1_000_000_000_000) / link_rate_bps;
+            let mut t = 0;
+            while t < duration_ps {
+                for f in dbt.flows(*flow_bytes, t, bcast_off) {
+                    world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
+                }
+                t += interval.max(1);
+            }
+        }
+        BgPattern::Permutation {
+            flow_bytes,
+            load,
+            shift,
+        } => {
+            // One flow per host per round; normalize the shift so no
+            // host maps onto itself.
+            let shift = if shift % n == 0 { 1 } else { shift % n };
+            let interval = (*flow_bytes as f64 * 8.0 / (load * link_rate_bps as f64) * 1e12) as Ps;
+            let mut t = 0;
+            while t < duration_ps {
+                for f in occamy_traffic::permutation(n, shift, *flow_bytes, t) {
+                    world.add_flow(spec_to_flow(&f, 0, CcAlgo::Dctcp, 0));
+                }
+                t += interval.max(1);
+            }
+        }
+    }
+    if qps_per_host > 0.0 {
+        let warmup = duration_ps / 10;
+        let qw = QueryWorkload::new(n, query_fanout, query_bytes, qps_per_host);
+        for q in qw.generate(duration_ps - warmup, &mut rng) {
+            for f in &q.responses {
+                world.add_flow(spec_to_flow(f, 0, CcAlgo::Dctcp, warmup));
+            }
+        }
     }
 }
 

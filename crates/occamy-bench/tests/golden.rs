@@ -1,0 +1,121 @@
+//! Golden-metric regression tracking (ROADMAP: "result regression
+//! tracking"): `golden/` holds committed smoke-scale `BENCH_<name>.json`
+//! snapshots of three stable scenarios; this test re-runs them
+//! in-process and fails when any *headline* metric drifts beyond
+//! tolerance.
+//!
+//! Perf fields are deliberately excluded from the comparison: `wall_ms`
+//! / `events_per_sec` vary run to run, and the `events` count is an
+//! engine property (event-loop refactors legitimately change it without
+//! changing results). Everything else — queries, QCT/FCT slowdowns,
+//! losses, unfinished — must match the snapshot to one part in 10⁶.
+//!
+//! Regenerating after an *intentional* result change:
+//!
+//! ```text
+//! cd $(mktemp -d) && occamy-bench run fig03 fig12 fig20 --smoke --serial
+//! cp BENCH_fig03.json BENCH_fig12.json BENCH_fig20.json <repo>/golden/
+//! ```
+
+use occamy_bench::registry::find_scenario;
+use occamy_bench::runner::execute;
+use occamy_bench::scenario::Scale;
+use occamy_spec::Value;
+use std::path::PathBuf;
+
+/// The tracked scenarios: one CBR micro-testbed (fig03), one CBR sweep
+/// with an α axis (fig12), one transport-level leaf-spine study
+/// (fig20) — together they cover every simulation substrate.
+const TRACKED: &[&str] = &["fig03", "fig12", "fig20"];
+
+/// Metric keys excluded from the comparison (perf, not results).
+const PERF_METRICS: &[&str] = &["events"];
+
+const REL_TOL: f64 = 1e-6;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../golden")
+        .canonicalize()
+        .expect("golden/ directory exists")
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1e-12)
+}
+
+#[test]
+fn headline_metrics_match_golden_snapshots() {
+    for name in TRACKED {
+        let path = golden_dir().join(format!("BENCH_{name}.json"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let golden =
+            occamy_spec::json::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            golden.get("scale").and_then(|v| v.as_str().ok()),
+            Some("smoke"),
+            "{name}: golden snapshots are smoke-scale"
+        );
+
+        let scenario = find_scenario(name).unwrap_or_else(|| panic!("{name} not registered"));
+        let (runs, _) = execute(&[scenario], Scale::Smoke, true);
+        let run = &runs[0];
+
+        let cells = golden
+            .get("results")
+            .and_then(|v| v.as_array().ok())
+            .unwrap_or_else(|| panic!("{name}: golden file has no results"));
+        assert_eq!(
+            cells.len(),
+            run.outcomes.len(),
+            "{name}: grid size changed — regenerate golden/ if intentional"
+        );
+
+        for (cell, outcome) in cells.iter().zip(&run.outcomes) {
+            let label = outcome.spec.label();
+            // The cell identity (its seed) must match: a seed change
+            // means the grid moved, not that results drifted.
+            assert_eq!(
+                cell.get("seed").and_then(|v| v.as_u64().ok()),
+                Some(outcome.spec.seed),
+                "{name} [{label}]: cell seed changed"
+            );
+            let metrics = cell
+                .get("metrics")
+                .unwrap_or_else(|| panic!("{name} [{label}]: golden cell has no metrics"));
+            let entries = metrics.entries().unwrap();
+            let kept: Vec<&(String, Value)> = entries
+                .iter()
+                .filter(|(k, _)| !PERF_METRICS.contains(&k.as_str()))
+                .collect();
+            assert!(!kept.is_empty(), "{name} [{label}]: nothing to compare");
+            for (key, golden_v) in kept {
+                let want = golden_v.as_f64().unwrap();
+                let got = outcome
+                    .result
+                    .get(key)
+                    .unwrap_or_else(|| panic!("{name} [{label}]: metric '{key}' disappeared"));
+                assert!(
+                    close(want, got),
+                    "{name} [{label}]: '{key}' drifted: golden {want}, got {got} \
+                     (tol {REL_TOL}); regenerate golden/ if this change is intentional"
+                );
+            }
+            // Metrics present now but absent from the snapshot are fine
+            // (new metrics get added); the perf trio is checked to stay
+            // out of the snapshot comparison by construction.
+        }
+    }
+}
+
+#[test]
+fn golden_snapshots_cover_all_tracked_scenarios() {
+    let dir = golden_dir();
+    for name in TRACKED {
+        assert!(
+            dir.join(format!("BENCH_{name}.json")).exists(),
+            "golden/BENCH_{name}.json missing"
+        );
+    }
+}

@@ -12,8 +12,10 @@
 //!   partitions and a token-bucket model of redundant memory bandwidth;
 //! - [`Host`]s running DCTCP / CUBIC / Reno ([`FlowState`]) plus raw
 //!   CBR sources ([`CbrSource`]) standing in for Pktgen;
-//! - [`topology`] builders for the paper's single-switch testbeds and the
-//!   128-host leaf-spine fabric with ECMP;
+//! - [`topology`] builders for the paper's single-switch testbeds, the
+//!   128-host leaf-spine fabric, k-ary fat-trees and 3-tier
+//!   (access/aggregation/core) fabrics with an oversubscription knob,
+//!   all routed with ECMP;
 //! - [`Metrics`] capturing drops (with buffer / memory-bandwidth
 //!   utilization context), queue-length time series, CBR loss and flow
 //!   completion records.

@@ -1,4 +1,5 @@
-//! Topology builders: single shared-memory switch and leaf-spine fabric.
+//! Topology builders: single shared-memory switch, leaf-spine, k-ary
+//! fat-tree and classic 3-tier (access/aggregation/core) fabrics.
 
 use crate::event::NodeId;
 use crate::host::{Host, HostLink};
@@ -218,6 +219,7 @@ pub fn leaf_spine(c: LeafSpineCfg) -> World {
         .collect();
 
     let mut switches = Vec::with_capacity(c.leaves + c.spines);
+    let sh = shared(&c.bm, c.sched, c.buffer_per_8ports_bytes, c.classes, &c.sim);
     // Leaves: ports 0..hpl are down-links, hpl..hpl+spines are up-links.
     for leaf in 0..c.leaves {
         let mut ports = Vec::new();
@@ -262,7 +264,7 @@ pub fn leaf_spine(c: LeafSpineCfg) -> World {
                 })
                 .collect(),
         );
-        switches.push(assemble_switch(leaf, ports, rates, routing, &c));
+        switches.push(assemble_switch(leaf, ports, rates, routing, &sh));
     }
     // Spines: port `l` goes down to leaf `l`.
     for spine in 0..c.spines {
@@ -282,9 +284,440 @@ pub fn leaf_spine(c: LeafSpineCfg) -> World {
             rates.push(c.fabric_rate_bps);
         }
         let routing = RoutingTable::new((0..n_hosts).map(|dst| vec![(dst / hpl) as u16]).collect());
-        switches.push(assemble_switch(c.leaves + spine, ports, rates, routing, &c));
+        switches.push(assemble_switch(
+            c.leaves + spine,
+            ports,
+            rates,
+            routing,
+            &sh,
+        ));
     }
     World::new(c.sim.clone(), hosts, switches)
+}
+
+/// Configuration of a k-ary fat-tree (Al-Fares et al.): `k` pods of
+/// `k/2` edge and `k/2` aggregation switches, `(k/2)²` core switches,
+/// `k³/4` hosts.
+#[derive(Debug, Clone)]
+pub struct FatTreeCfg {
+    /// Pod arity. Must be even and ≥ 2; `k = 4` gives 16 hosts.
+    pub k: usize,
+    /// Host access-link rate.
+    pub host_rate_bps: u64,
+    /// Edge↔aggregation and aggregation↔core link rate.
+    pub fabric_rate_bps: u64,
+    /// One-way propagation per link.
+    pub link_prop_ps: Ps,
+    /// Shared buffer per group of 8 ports.
+    pub buffer_per_8ports_bytes: u64,
+    /// Service classes per port.
+    pub classes: usize,
+    /// Buffer management.
+    pub bm: BmSpec,
+    /// Port scheduler.
+    pub sched: SchedKind,
+    /// Simulation parameters.
+    pub sim: SimConfig,
+}
+
+impl FatTreeCfg {
+    /// Total host count: `k³/4`.
+    pub fn n_hosts(&self) -> usize {
+        self.k * self.k * self.k / 4
+    }
+
+    /// Total switch count: `k²` edge+aggregation plus `(k/2)²` core.
+    pub fn n_switches(&self) -> usize {
+        self.k * self.k + (self.k / 2) * (self.k / 2)
+    }
+}
+
+/// Builds the k-ary fat-tree world.
+///
+/// Hosts are numbered edge-major (host `h` sits under edge switch
+/// `h / (k/2)`); switch ids are edges first (pod-major), then
+/// aggregations (pod-major), then cores. Aggregation switch `a` of each
+/// pod uplinks to core group `a` (cores `a·k/2 .. (a+1)·k/2`), the
+/// standard fat-tree wiring. Routing is shortest-path with ECMP fan-out
+/// on every up-stage ([`RoutingTable`] hashes the flow id, §6.4).
+pub fn fat_tree(c: FatTreeCfg) -> World {
+    assert!(c.k >= 2 && c.k % 2 == 0, "fat-tree arity must be even, ≥ 2");
+    let half = c.k / 2;
+    let hosts_per_pod = half * half;
+    let n_hosts = c.n_hosts();
+    let n_edges = c.k * half;
+    let n_aggs = c.k * half;
+    let sh = shared(&c.bm, c.sched, c.buffer_per_8ports_bytes, c.classes, &c.sim);
+
+    let hosts: Vec<Host> = (0..n_hosts)
+        .map(|h| {
+            Host::new(
+                h,
+                HostLink {
+                    to_switch: h / half,
+                    rate_bps: c.host_rate_bps,
+                    prop_ps: c.link_prop_ps,
+                },
+            )
+        })
+        .collect();
+
+    let mut switches = Vec::with_capacity(c.n_switches());
+    // Edge switches: ports 0..k/2 down to hosts, k/2..k up to the pod's
+    // aggregation switches.
+    for edge in 0..n_edges {
+        let pod = edge / half;
+        let mut ports = Vec::with_capacity(c.k);
+        let mut rates = Vec::with_capacity(c.k);
+        for local in 0..half {
+            ports.push(port(
+                NodeId::Host(edge * half + local),
+                c.host_rate_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(c.host_rate_bps);
+        }
+        for a in 0..half {
+            ports.push(port(
+                NodeId::Switch(n_edges + pod * half + a),
+                c.fabric_rate_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(c.fabric_rate_bps);
+        }
+        let up: Vec<u16> = (half..c.k).map(|p| p as u16).collect();
+        let routing = RoutingTable::new(
+            (0..n_hosts)
+                .map(|dst| {
+                    if dst / half == edge {
+                        vec![(dst % half) as u16]
+                    } else {
+                        up.clone()
+                    }
+                })
+                .collect(),
+        );
+        switches.push(assemble_switch(edge, ports, rates, routing, &sh));
+    }
+    // Aggregation switches: ports 0..k/2 down to the pod's edges,
+    // k/2..k up to the switch's core group.
+    for agg in 0..n_aggs {
+        let pod = agg / half;
+        let group = agg % half;
+        let mut ports = Vec::with_capacity(c.k);
+        let mut rates = Vec::with_capacity(c.k);
+        for e in 0..half {
+            ports.push(port(
+                NodeId::Switch(pod * half + e),
+                c.fabric_rate_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(c.fabric_rate_bps);
+        }
+        for i in 0..half {
+            ports.push(port(
+                NodeId::Switch(n_edges + n_aggs + group * half + i),
+                c.fabric_rate_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(c.fabric_rate_bps);
+        }
+        let up: Vec<u16> = (half..c.k).map(|p| p as u16).collect();
+        let routing = RoutingTable::new(
+            (0..n_hosts)
+                .map(|dst| {
+                    if dst / hosts_per_pod == pod {
+                        vec![((dst / half) % half) as u16]
+                    } else {
+                        up.clone()
+                    }
+                })
+                .collect(),
+        );
+        switches.push(assemble_switch(n_edges + agg, ports, rates, routing, &sh));
+    }
+    // Core switches: port p goes down to this core's aggregation switch
+    // in pod p.
+    for core in 0..half * half {
+        let group = core / half;
+        let mut ports = Vec::with_capacity(c.k);
+        let mut rates = Vec::with_capacity(c.k);
+        for pod in 0..c.k {
+            ports.push(port(
+                NodeId::Switch(n_edges + pod * half + group),
+                c.fabric_rate_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(c.fabric_rate_bps);
+        }
+        let routing = RoutingTable::new(
+            (0..n_hosts)
+                .map(|dst| vec![(dst / hosts_per_pod) as u16])
+                .collect(),
+        );
+        switches.push(assemble_switch(
+            n_edges + n_aggs + core,
+            ports,
+            rates,
+            routing,
+            &sh,
+        ));
+    }
+    World::new(c.sim.clone(), hosts, switches)
+}
+
+/// Configuration of a classic 3-tier (access / aggregation / core)
+/// data-center fabric with an explicit access-layer oversubscription
+/// knob.
+#[derive(Debug, Clone)]
+pub struct ThreeTierCfg {
+    /// Pod count (a pod = one aggregation group plus its access layer).
+    pub pods: usize,
+    /// Access switches per pod.
+    pub access_per_pod: usize,
+    /// Aggregation switches per pod.
+    pub aggs_per_pod: usize,
+    /// Core switches (each connects to every aggregation switch).
+    pub cores: usize,
+    /// Hosts per access switch.
+    pub hosts_per_access: usize,
+    /// Host access-link rate.
+    pub host_rate_bps: u64,
+    /// Aggregation↔core link rate.
+    pub core_rate_bps: u64,
+    /// Access-layer oversubscription ratio: host-facing capacity over
+    /// uplink capacity. `1.0` is non-blocking; `4.0` means the uplinks
+    /// carry a quarter of the host capacity — the classic many-to-one
+    /// stress for shared-buffer schemes.
+    pub oversubscription: f64,
+    /// One-way propagation per link.
+    pub link_prop_ps: Ps,
+    /// Shared buffer per group of 8 ports.
+    pub buffer_per_8ports_bytes: u64,
+    /// Service classes per port.
+    pub classes: usize,
+    /// Buffer management.
+    pub bm: BmSpec,
+    /// Port scheduler.
+    pub sched: SchedKind,
+    /// Simulation parameters.
+    pub sim: SimConfig,
+}
+
+impl ThreeTierCfg {
+    /// Total host count.
+    pub fn n_hosts(&self) -> usize {
+        self.pods * self.access_per_pod * self.hosts_per_access
+    }
+
+    /// Total switch count.
+    pub fn n_switches(&self) -> usize {
+        self.pods * (self.access_per_pod + self.aggs_per_pod) + self.cores
+    }
+
+    /// Rate of each access→aggregation uplink, derived from the
+    /// oversubscription ratio: the `aggs_per_pod` uplinks together carry
+    /// `hosts_per_access · host_rate / oversubscription`.
+    pub fn uplink_rate_bps(&self) -> u64 {
+        assert!(
+            self.oversubscription >= 1.0,
+            "oversubscription must be ≥ 1 (got {})",
+            self.oversubscription
+        );
+        let down = self.hosts_per_access as f64 * self.host_rate_bps as f64;
+        (down / (self.aggs_per_pod as f64 * self.oversubscription)).round() as u64
+    }
+}
+
+/// Builds the 3-tier world.
+///
+/// Hosts are numbered access-major; switch ids are access switches first
+/// (pod-major), then aggregations (pod-major), then cores. Every access
+/// switch uplinks to all aggregations of its pod (ECMP), every
+/// aggregation uplinks to all cores (ECMP), and cores reach a pod
+/// through any of its aggregations (ECMP) — so inter-pod traffic really
+/// traverses three tiers.
+pub fn three_tier(c: ThreeTierCfg) -> World {
+    assert!(c.pods >= 2, "need at least two pods");
+    assert!(
+        c.access_per_pod >= 1 && c.aggs_per_pod >= 1 && c.cores >= 1,
+        "need at least one switch per tier"
+    );
+    assert!(c.hosts_per_access >= 1, "need hosts");
+    let hpa = c.hosts_per_access;
+    let hosts_per_pod = c.access_per_pod * hpa;
+    let n_hosts = c.n_hosts();
+    let n_access = c.pods * c.access_per_pod;
+    let n_aggs = c.pods * c.aggs_per_pod;
+    let uplink_bps = c.uplink_rate_bps().max(1);
+    let sh = shared(&c.bm, c.sched, c.buffer_per_8ports_bytes, c.classes, &c.sim);
+
+    let hosts: Vec<Host> = (0..n_hosts)
+        .map(|h| {
+            Host::new(
+                h,
+                HostLink {
+                    to_switch: h / hpa,
+                    rate_bps: c.host_rate_bps,
+                    prop_ps: c.link_prop_ps,
+                },
+            )
+        })
+        .collect();
+
+    let mut switches = Vec::with_capacity(c.n_switches());
+    // Access: ports 0..hpa down to hosts, then one uplink per pod agg.
+    for acc in 0..n_access {
+        let pod = acc / c.access_per_pod;
+        let mut ports = Vec::new();
+        let mut rates = Vec::new();
+        for local in 0..hpa {
+            ports.push(port(
+                NodeId::Host(acc * hpa + local),
+                c.host_rate_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(c.host_rate_bps);
+        }
+        for a in 0..c.aggs_per_pod {
+            ports.push(port(
+                NodeId::Switch(n_access + pod * c.aggs_per_pod + a),
+                uplink_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(uplink_bps);
+        }
+        let up: Vec<u16> = (hpa..hpa + c.aggs_per_pod).map(|p| p as u16).collect();
+        let routing = RoutingTable::new(
+            (0..n_hosts)
+                .map(|dst| {
+                    if dst / hpa == acc {
+                        vec![(dst % hpa) as u16]
+                    } else {
+                        up.clone()
+                    }
+                })
+                .collect(),
+        );
+        switches.push(assemble_switch(acc, ports, rates, routing, &sh));
+    }
+    // Aggregation: ports 0..access_per_pod down to the pod's access
+    // switches, then one uplink per core.
+    for agg in 0..n_aggs {
+        let pod = agg / c.aggs_per_pod;
+        let mut ports = Vec::new();
+        let mut rates = Vec::new();
+        for a in 0..c.access_per_pod {
+            ports.push(port(
+                NodeId::Switch(pod * c.access_per_pod + a),
+                uplink_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(uplink_bps);
+        }
+        for core in 0..c.cores {
+            ports.push(port(
+                NodeId::Switch(n_access + n_aggs + core),
+                c.core_rate_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(c.core_rate_bps);
+        }
+        let up: Vec<u16> = (c.access_per_pod..c.access_per_pod + c.cores)
+            .map(|p| p as u16)
+            .collect();
+        let routing = RoutingTable::new(
+            (0..n_hosts)
+                .map(|dst| {
+                    if dst / hosts_per_pod == pod {
+                        vec![((dst / hpa) % c.access_per_pod) as u16]
+                    } else {
+                        up.clone()
+                    }
+                })
+                .collect(),
+        );
+        switches.push(assemble_switch(n_access + agg, ports, rates, routing, &sh));
+    }
+    // Core: one port per aggregation switch (agg-major); a pod is
+    // reachable through any of its aggregations.
+    for core in 0..c.cores {
+        let mut ports = Vec::new();
+        let mut rates = Vec::new();
+        for agg in 0..n_aggs {
+            ports.push(port(
+                NodeId::Switch(n_access + agg),
+                c.core_rate_bps,
+                c.link_prop_ps,
+                c.classes,
+                c.sched,
+            ));
+            rates.push(c.core_rate_bps);
+        }
+        let routing = RoutingTable::new(
+            (0..n_hosts)
+                .map(|dst| {
+                    let pod = dst / hosts_per_pod;
+                    (pod * c.aggs_per_pod..(pod + 1) * c.aggs_per_pod)
+                        .map(|p| p as u16)
+                        .collect()
+                })
+                .collect(),
+        );
+        switches.push(assemble_switch(
+            n_access + n_aggs + core,
+            ports,
+            rates,
+            routing,
+            &sh,
+        ));
+    }
+    World::new(c.sim.clone(), hosts, switches)
+}
+
+/// The switch-assembly parameters every fabric builder shares: buffer
+/// management, scheduling, Tomahawk-style per-8-port buffer partitioning
+/// and class count.
+struct SwitchShared<'a> {
+    bm: &'a BmSpec,
+    sched: SchedKind,
+    buffer_per_8ports_bytes: u64,
+    classes: usize,
+    sim: &'a SimConfig,
+}
+
+fn shared<'a>(
+    bm: &'a BmSpec,
+    sched: SchedKind,
+    buffer_per_8ports_bytes: u64,
+    classes: usize,
+    sim: &'a SimConfig,
+) -> SwitchShared<'a> {
+    SwitchShared {
+        bm,
+        sched,
+        buffer_per_8ports_bytes,
+        classes,
+        sim,
+    }
 }
 
 fn assemble_switch(
@@ -292,7 +725,7 @@ fn assemble_switch(
     ports: Vec<SwitchPort>,
     rates: Vec<u64>,
     routing: RoutingTable,
-    c: &LeafSpineCfg,
+    c: &SwitchShared<'_>,
 ) -> Switch {
     let n = ports.len();
     let mut partitions = Vec::new();
@@ -305,13 +738,13 @@ fn assemble_switch(
             port_local[p] = li;
         }
         partitions.push(build_partition(
-            &c.bm,
+            c.bm,
             c.sched,
             c.buffer_per_8ports_bytes * chunk.len() as u64 / 8,
             chunk,
             &rates,
             c.classes,
-            &c.sim,
+            c.sim,
         ));
     }
     let total_rate: u64 = rates.iter().sum();
@@ -326,6 +759,20 @@ fn assemble_switch(
         write_rate: RateEstimator::new(10_000, 0.0),
         read_rate: RateEstimator::new(10_000, 0.0),
         total_membw_bps: 2.0 * total_rate as f64,
+    }
+}
+
+/// Builds one switch port with a link to `to` at `rate_bps`.
+fn port(to: NodeId, rate_bps: u64, prop_ps: Ps, classes: usize, sched: SchedKind) -> SwitchPort {
+    SwitchPort {
+        link: Link {
+            to,
+            rate_bps,
+            prop_ps,
+        },
+        queues: (0..classes).map(|_| VecDeque::new()).collect(),
+        sched: sched.build(classes),
+        tx_busy: false,
     }
 }
 
@@ -429,6 +876,111 @@ mod tests {
         // Spine 0 routes host 17 down to leaf 1.
         let spine0 = &w.switches[8];
         assert_eq!(spine0.routing.candidates(17), &[1]);
+    }
+
+    fn tiny_fat_tree(k: usize) -> FatTreeCfg {
+        FatTreeCfg {
+            k,
+            host_rate_bps: 25_000_000_000,
+            fabric_rate_bps: 25_000_000_000,
+            link_prop_ps: 10 * crate::time::US,
+            buffer_per_8ports_bytes: 1_000_000,
+            classes: 1,
+            bm: bm(),
+            sched: SchedKind::Fifo,
+            sim: SimConfig::large_scale(),
+        }
+    }
+
+    fn tiny_three_tier(oversub: f64) -> ThreeTierCfg {
+        ThreeTierCfg {
+            pods: 2,
+            access_per_pod: 2,
+            aggs_per_pod: 2,
+            cores: 2,
+            hosts_per_access: 4,
+            host_rate_bps: 25_000_000_000,
+            core_rate_bps: 25_000_000_000,
+            oversubscription: oversub,
+            link_prop_ps: 10 * crate::time::US,
+            buffer_per_8ports_bytes: 1_000_000,
+            classes: 1,
+            bm: bm(),
+            sched: SchedKind::Fifo,
+            sim: SimConfig::large_scale(),
+        }
+    }
+
+    #[test]
+    fn fat_tree_k4_shape() {
+        let cfg = tiny_fat_tree(4);
+        assert_eq!(cfg.n_hosts(), 16);
+        assert_eq!(cfg.n_switches(), 20);
+        let w = fat_tree(cfg);
+        assert_eq!(w.hosts.len(), 16);
+        assert_eq!(w.switches.len(), 20);
+        // Every switch in a k=4 fat-tree has exactly k = 4 ports.
+        for sw in &w.switches {
+            assert_eq!(sw.ports.len(), 4, "switch {}", sw.id);
+        }
+        // Host 0 hangs off edge 0; edge 0's up-links go to aggs 8 and 9.
+        assert_eq!(w.hosts[0].link.to_switch, 0);
+        let edge0 = &w.switches[0];
+        assert_eq!(edge0.ports[2].link.to, NodeId::Switch(8));
+        assert_eq!(edge0.ports[3].link.to, NodeId::Switch(9));
+        // Local host: single down port; remote: ECMP across both aggs.
+        assert_eq!(edge0.routing.candidates(1), &[1]);
+        assert_eq!(edge0.routing.candidates(15), &[2, 3]);
+        // Agg 8 (pod 0, group 0) reaches pod-local host 3 via edge 1 and
+        // remote hosts via its two core up-links.
+        let agg8 = &w.switches[8];
+        assert_eq!(agg8.routing.candidates(3), &[1]);
+        assert_eq!(agg8.routing.candidates(4), &[2, 3]);
+        // Core 16 (group 0) reaches pod 3 through that pod's group-0 agg.
+        let core16 = &w.switches[16];
+        assert_eq!(core16.ports[3].link.to, NodeId::Switch(8 + 3 * 2));
+        assert_eq!(core16.routing.candidates(12), &[3]);
+    }
+
+    #[test]
+    fn three_tier_shape_and_oversubscription() {
+        let cfg = tiny_three_tier(4.0);
+        assert_eq!(cfg.n_hosts(), 16);
+        assert_eq!(cfg.n_switches(), 10);
+        // 4 hosts × 25 G down, ÷ (2 uplinks × 4 oversub) = 12.5 G each.
+        assert_eq!(cfg.uplink_rate_bps(), 12_500_000_000);
+        let w = three_tier(cfg);
+        assert_eq!(w.hosts.len(), 16);
+        assert_eq!(w.switches.len(), 10);
+        let acc0 = &w.switches[0];
+        assert_eq!(acc0.ports.len(), 6); // 4 hosts + 2 agg up-links
+        assert_eq!(acc0.ports[4].link.rate_bps, 12_500_000_000);
+        // Local host direct, remote ECMP over both aggs.
+        assert_eq!(acc0.routing.candidates(2), &[2]);
+        assert_eq!(acc0.routing.candidates(9), &[4, 5]);
+        // Agg 4 (pod 0): pod-local host 5 via access 1, inter-pod via
+        // both core up-links.
+        let agg4 = &w.switches[4];
+        assert_eq!(agg4.ports.len(), 4); // 2 access + 2 cores
+        assert_eq!(agg4.routing.candidates(5), &[1]);
+        assert_eq!(agg4.routing.candidates(8), &[2, 3]);
+        // Core 8: pod 1 reachable through either of its aggs.
+        let core8 = &w.switches[8];
+        assert_eq!(core8.ports.len(), 4); // one per agg
+        assert_eq!(core8.routing.candidates(8), &[2, 3]);
+    }
+
+    #[test]
+    fn non_blocking_three_tier_uplinks_carry_full_rate() {
+        let cfg = tiny_three_tier(1.0);
+        // 4 hosts × 25 G ÷ 2 uplinks = 50 G per uplink.
+        assert_eq!(cfg.uplink_rate_bps(), 50_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_fat_tree_arity_rejected() {
+        fat_tree(tiny_fat_tree(3));
     }
 
     #[test]

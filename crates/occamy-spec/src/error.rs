@@ -1,0 +1,82 @@
+//! Spec-layer errors: every failure names what was wrong and, for
+//! misspelled identifiers, suggests the closest known alternative.
+
+use crate::suggest::suggest;
+use std::fmt;
+
+/// An error raised while parsing or validating a scenario spec.
+///
+/// The message is always self-contained — it names the offending key or
+/// value (and its section), so a typo in a 200-line spec is a one-line
+/// fix, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    msg: String,
+}
+
+impl SpecError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        SpecError { msg: msg.into() }
+    }
+
+    /// An "unknown identifier" error with a did-you-mean suggestion:
+    /// `what` names the identifier class (e.g. `"scheme"`), `got` is the
+    /// offending spelling and `options` the known set.
+    pub fn unknown(what: &str, got: &str, options: &[&str]) -> Self {
+        let mut msg = format!("unknown {what} '{got}'");
+        if let Some(s) = suggest(got, options) {
+            msg.push_str(&format!("; did you mean '{s}'?"));
+        }
+        msg.push_str(&format!(" (known: {})", options.join(", ")));
+        SpecError { msg }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+
+    /// Prefixes the message with a context path (e.g. `[traffic]`).
+    pub fn in_context(self, ctx: &str) -> Self {
+        SpecError {
+            msg: format!("{ctx}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Shorthand result type for the crate.
+pub type Result<T> = std::result::Result<T, SpecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_suggests_closest() {
+        let e = SpecError::unknown("scheme", "Ocamy", &["Occamy", "DT", "ABM"]);
+        assert!(e.message().contains("did you mean 'Occamy'?"), "{e}");
+        assert!(e.message().contains("known: Occamy, DT, ABM"), "{e}");
+    }
+
+    #[test]
+    fn unknown_without_close_match_still_lists() {
+        let e = SpecError::unknown("key", "zzzzzz", &["alpha", "beta"]);
+        assert!(!e.message().contains("did you mean"), "{e}");
+        assert!(e.message().contains("known: alpha, beta"), "{e}");
+    }
+
+    #[test]
+    fn context_prefixes() {
+        let e = SpecError::new("boom").in_context("[traffic]");
+        assert_eq!(e.message(), "[traffic]: boom");
+    }
+}

@@ -1,0 +1,259 @@
+//! A minimal JSON reader producing the same [`Value`] tree as the TOML
+//! reader, so `.json` specs (and the machine-readable `BENCH_*.json`
+//! outputs, for golden-metric comparison) share one typed model.
+
+use crate::error::{Result, SpecError};
+use crate::value::Value;
+
+/// Parses a JSON document. Objects preserve key order; numbers without
+/// a fraction or exponent become integers; `null` is rejected (specs
+/// omit absent keys instead).
+pub fn parse(input: &str) -> Result<Value> {
+    let mut p = Parser {
+        s: input.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return p.err("trailing characters after document");
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn at_end(&self) -> bool {
+        self.i >= self.s.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn line(&self) -> usize {
+        1 + self.s[..self.i.min(self.s.len())]
+            .iter()
+            .filter(|&&c| c == b'\n')
+            .count()
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(SpecError::new(format!(
+            "line {}: {}",
+            self.line(),
+            msg.into()
+        )))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n')
+        ) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", c as char))
+        }
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.s[self.i..].starts_with(w.as_bytes()) {
+            self.i += w.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > 64 {
+            return self.err("nesting too deep");
+        }
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'{') => {
+                self.i += 1;
+                let mut kv: Vec<(String, Value)> = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Value::Table(kv));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let v = self.parse_value(depth + 1)?;
+                    if kv.iter().any(|(k, _)| *k == key) {
+                        return self.err(format!("duplicate key '{key}'"));
+                    }
+                    kv.push((key, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Value::Table(kv));
+                        }
+                        _ => return self.err("expected ',' or '}'"),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') if self.eat_word("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_word("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_word("null") => {
+                self.err("null is not supported — omit the key instead")
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return String::from_utf8(out)
+                        .map_err(|_| SpecError::new("invalid UTF-8 in string"));
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b'b') => out.push(0x08),
+                        Some(b'f') => out.push(0x0C),
+                        Some(b'u') => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                self.i += 1;
+                                match self.peek().and_then(|c| (c as char).to_digit(16)) {
+                                    Some(d) => code = code * 16 + d,
+                                    None => return self.err("bad \\u escape"),
+                                }
+                            }
+                            match char::from_u32(code) {
+                                Some(ch) => {
+                                    let mut buf = [0u8; 4];
+                                    out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("unsupported escape"),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.i;
+        while matches!(self.peek(), Some(c)
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        let word = std::str::from_utf8(&self.s[start..self.i]).unwrap_or("");
+        if word.is_empty() {
+            return self.err("expected a value");
+        }
+        let is_float = word.contains(['.', 'e', 'E']);
+        if !is_float {
+            if let Ok(v) = word.parse::<i128>() {
+                return Ok(Value::Int(v));
+            }
+        }
+        word.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| SpecError::new(format!("bad number '{word}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_objects_arrays_scalars() {
+        let v = parse(
+            r#"{"name": "demo", "n": 3, "x": 2.5, "big": 1e3,
+                "ok": true, "list": [1, "two", {"k": -1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("name").unwrap().as_str().unwrap(), "demo");
+        assert_eq!(v.get("n").unwrap().as_int().unwrap(), 3);
+        assert_eq!(v.get("x").unwrap().as_f64().unwrap(), 2.5);
+        assert_eq!(v.get("big").unwrap().as_f64().unwrap(), 1000.0);
+        assert!(matches!(v.get("big").unwrap(), Value::Float(_)));
+        let list = v.get("list").unwrap().as_array().unwrap();
+        assert_eq!(list[2].get("k").unwrap().as_int().unwrap(), -1);
+    }
+
+    #[test]
+    fn rejects_null_trailing_and_bad_syntax() {
+        assert!(parse(r#"{"a": null}"#)
+            .unwrap_err()
+            .message()
+            .contains("null"));
+        assert!(parse(r#"{"a": 1} extra"#).is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse(r#"{"a": 1,, }"#).is_err());
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let e = parse("{\n\"a\": nope\n}").unwrap_err();
+        assert!(e.message().starts_with("line 2:"), "{e}");
+    }
+}

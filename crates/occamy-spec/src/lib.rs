@@ -1,0 +1,98 @@
+//! Declarative scenario descriptions for the Occamy experiment harness.
+//!
+//! This crate is the *front half* of the spec pipeline: it reads a
+//! TOML (or JSON) scenario description into a validated [`SpecDoc`] —
+//! `[topology]` (leaf-spine / fat-tree / 3-tier with an
+//! oversubscription knob), `[traffic]` (web-search, incast queries,
+//! all-to-all, all-reduce, permutation), `[schemes]`, `[grid]` sweep
+//! axes and `[[emit]]` tables — and can re-emit it as canonical TOML.
+//! The *back half* lives in `occamy-bench::spec_scenario`, which
+//! compiles a `SpecDoc` into the existing `Grid`/`CellSpec` machinery
+//! so spec-driven sweeps run on the same parallel runner, with the
+//! same deterministic per-cell seeds and `BENCH_<name>.json` +
+//! `results/*.csv` outputs, as the hand-coded paper figures.
+//!
+//! The crate is dependency-free by design (the build environment is
+//! offline): it ships its own minimal [`toml`] and [`json`] readers
+//! over a shared order-preserving [`Value`] tree.
+//!
+//! Validation is strict and typo-friendly: every identifier is checked
+//! against the known sets and a misspelling fails with a named
+//! suggestion — `unknown scheme 'Ocamy'; did you mean 'Occamy'?` —
+//! never a panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emit;
+pub mod error;
+pub mod json;
+pub mod model;
+pub mod suggest;
+pub mod toml;
+mod value;
+
+pub use error::{Result, SpecError};
+pub use model::{
+    default_alpha, AxisSpec, Background, Num, QuerySize, SchemesSpec, SimSpec, SpecDoc, TableSpec,
+    TopologyKind, TopologySection, TrafficSpec, BACKGROUNDS, KNOBS, METRICS, SCHEMES, TOPOLOGIES,
+};
+pub use value::Value;
+
+/// Parses a TOML spec into a validated [`SpecDoc`].
+pub fn spec_from_toml(text: &str) -> Result<SpecDoc> {
+    SpecDoc::from_value(&toml::parse(text)?)
+}
+
+/// Parses a JSON spec into a validated [`SpecDoc`].
+pub fn spec_from_json(text: &str) -> Result<SpecDoc> {
+    SpecDoc::from_value(&json::parse(text)?)
+}
+
+/// Parses a spec, choosing the reader from the file name's extension
+/// (`.toml` or `.json`).
+pub fn spec_from_file_text(path: &str, text: &str) -> Result<SpecDoc> {
+    if path.ends_with(".json") {
+        spec_from_json(text)
+    } else if path.ends_with(".toml") {
+        spec_from_toml(text)
+    } else {
+        Err(SpecError::new(format!(
+            "can't tell the format of '{path}': expected a .toml or .json extension"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toml_and_json_agree() {
+        let t = spec_from_toml(
+            "name = \"x\"\n[topology]\nkind = \"fat_tree\"\nk = 4\n[grid]\nbg_load = [0.5, 0.9]\n",
+        )
+        .unwrap();
+        let j = spec_from_json(
+            r#"{"name": "x", "topology": {"kind": "fat_tree", "k": 4},
+                "grid": {"bg_load": [0.5, 0.9]}}"#,
+        )
+        .unwrap();
+        assert_eq!(t, j);
+    }
+
+    #[test]
+    fn extension_dispatch() {
+        assert!(
+            spec_from_file_text("a.toml", "name = \"x\"\n[topology]\nkind = \"fat_tree\"\n")
+                .is_ok()
+        );
+        assert!(spec_from_file_text(
+            "a.json",
+            r#"{"name": "x", "topology": {"kind": "fat_tree"}}"#
+        )
+        .is_ok());
+        let e = spec_from_file_text("a.yaml", "").unwrap_err();
+        assert!(e.message().contains(".toml or .json"), "{e}");
+    }
+}

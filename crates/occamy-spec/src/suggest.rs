@@ -1,0 +1,68 @@
+//! "Did you mean …?" suggestions for misspelled identifiers.
+
+/// Damerau-Levenshtein distance (optimal string alignment variant):
+/// insertions, deletions, substitutions and adjacent transpositions all
+/// cost 1 — `fat_treee` is 1 from `fat_tree`, `shceme` is 1 from
+/// `scheme`.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows (the transposition case looks two rows back).
+    let mut prev2 = vec![0usize; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                cur[j] = cur[j].min(prev2[j - 2] + 1);
+            }
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// The closest option to `got`, if any is close enough to plausibly be
+/// a typo (distance ≤ 2, or ≤ a third of the word for long names).
+/// Comparison is case-insensitive so `occamy` still suggests `Occamy`.
+pub fn suggest<'a>(got: &str, options: &[&'a str]) -> Option<&'a str> {
+    let got_lc = got.to_lowercase();
+    options
+        .iter()
+        .map(|&o| (edit_distance(&got_lc, &o.to_lowercase()), o))
+        .min_by_key(|&(d, _)| d)
+        .filter(|&(d, _)| d <= 2.max(got.chars().count() / 3))
+        .map(|(_, o)| o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("fat_treee", "fat_tree"), 1);
+        assert_eq!(edit_distance("shceme", "scheme"), 1, "transposition");
+    }
+
+    #[test]
+    fn suggests_typos_not_noise() {
+        assert_eq!(suggest("Ocamy", &["Occamy", "DT"]), Some("Occamy"));
+        assert_eq!(suggest("occamy", &["Occamy", "DT"]), Some("Occamy"));
+        assert_eq!(suggest("qqqqqq", &["Occamy", "DT"]), None);
+    }
+}

@@ -1,0 +1,533 @@
+//! A minimal TOML reader covering the subset scenario specs use:
+//! `[table]` / `[[array-of-tables]]` headers (dotted paths allowed),
+//! bare / quoted / dotted keys, basic and literal strings, integers
+//! (decimal, hex, octal, binary, `_` separators), floats, booleans,
+//! single- and multi-line arrays, and inline tables. Dates and
+//! multi-line strings are rejected with a clear error. Key order is
+//! preserved.
+
+use crate::error::{Result, SpecError};
+use crate::value::Value;
+
+/// Parses a TOML document into a [`Value::Table`] root.
+pub fn parse(input: &str) -> Result<Value> {
+    let mut p = Parser {
+        s: input.as_bytes(),
+        i: 0,
+    };
+    let mut root = Value::Table(Vec::new());
+    // The table path new `key = value` lines land in; updated by
+    // `[header]` / `[[header]]` lines.
+    let mut current: Vec<String> = Vec::new();
+    loop {
+        p.skip_trivia();
+        if p.at_end() {
+            break;
+        }
+        if p.peek() == Some(b'[') {
+            p.bump();
+            let array = p.peek() == Some(b'[');
+            if array {
+                p.bump();
+            }
+            let path = p.parse_dotted_key()?;
+            p.expect(b']')?;
+            if array {
+                p.expect(b']')?;
+            }
+            p.expect_line_end()?;
+            if array {
+                push_array_table(&mut root, &path).map_err(|e| p.at_line(e))?;
+            } else {
+                // Creating the table now (even if it stays empty) both
+                // validates the path and reserves key order.
+                navigate(&mut root, &path, true).map_err(|e| p.at_line(e))?;
+            }
+            current = path;
+        } else {
+            let keys = p.parse_dotted_key()?;
+            p.skip_ws();
+            p.expect(b'=')?;
+            p.skip_ws();
+            let value = p.parse_value(0)?;
+            p.expect_line_end()?;
+            let mut path = current.clone();
+            path.extend(keys[..keys.len() - 1].iter().cloned());
+            let table = navigate(&mut root, &path, true).map_err(|e| p.at_line(e))?;
+            let key = keys.last().expect("dotted key is never empty").clone();
+            if table.iter().any(|(k, _)| *k == key) {
+                return Err(p.at_line(SpecError::new(format!("duplicate key '{key}'"))));
+            }
+            table.push((key, value));
+        }
+    }
+    Ok(root)
+}
+
+/// Walks `path` inside `root`, creating intermediate tables when
+/// `create` is set; a path segment holding an array of tables descends
+/// into its **last** element (TOML's `[[x]]` … `[x.y]` rule).
+fn navigate<'v>(
+    root: &'v mut Value,
+    path: &[String],
+    create: bool,
+) -> std::result::Result<&'v mut Vec<(String, Value)>, SpecError> {
+    let mut node = root;
+    for seg in path {
+        let table = match node {
+            Value::Table(kv) => kv,
+            _ => return Err(SpecError::new(format!("'{seg}' is not inside a table"))),
+        };
+        if !table.iter().any(|(k, _)| k == seg) {
+            if !create {
+                return Err(SpecError::new(format!("no such table '{seg}'")));
+            }
+            table.push((seg.clone(), Value::Table(Vec::new())));
+        }
+        let entry = table
+            .iter_mut()
+            .find(|(k, _)| k == seg)
+            .map(|(_, v)| v)
+            .expect("just ensured present");
+        node = match entry {
+            Value::Array(items) => items
+                .last_mut()
+                .ok_or_else(|| SpecError::new(format!("array of tables '{seg}' is empty")))?,
+            other => other,
+        };
+    }
+    match node {
+        Value::Table(kv) => Ok(kv),
+        other => Err(SpecError::new(format!(
+            "expected a table, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Appends a fresh table to the array of tables at `path` (`[[path]]`).
+fn push_array_table(root: &mut Value, path: &[String]) -> std::result::Result<(), SpecError> {
+    let (last, parent) = path.split_last().expect("header path is never empty");
+    let table = navigate(root, parent, true)?;
+    match table.iter_mut().find(|(k, _)| k == last) {
+        None => table.push((last.clone(), Value::Array(vec![Value::Table(Vec::new())]))),
+        Some((_, Value::Array(items))) => items.push(Value::Table(Vec::new())),
+        Some((_, other)) => {
+            return Err(SpecError::new(format!(
+                "'{last}' is a {}, not an array of tables",
+                other.type_name()
+            )))
+        }
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn at_end(&self) -> bool {
+        self.i >= self.s.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        self.i += usize::from(c.is_some());
+        c
+    }
+
+    fn line(&self) -> usize {
+        1 + self.s[..self.i.min(self.s.len())]
+            .iter()
+            .filter(|&&c| c == b'\n')
+            .count()
+    }
+
+    fn at_line(&self, e: SpecError) -> SpecError {
+        SpecError::new(format!("line {}: {}", self.line(), e.message()))
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(self.at_line(SpecError::new(msg)))
+    }
+
+    /// Skips spaces and tabs.
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.i += 1;
+        }
+    }
+
+    /// Skips whitespace, newlines and `#` comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => self.i += 1,
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.i += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// After a header or key-value, only a comment may precede the
+    /// newline.
+    fn expect_line_end(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(b'#') {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.i += 1;
+            }
+        }
+        match self.peek() {
+            None | Some(b'\n') => Ok(()),
+            Some(b'\r') => Ok(()),
+            Some(c) => self.err(format!("unexpected '{}' after value", c as char)),
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected '{}', found {}",
+                c as char,
+                self.peek()
+                    .map_or("end of input".to_string(), |b| format!("'{}'", b as char))
+            ))
+        }
+    }
+
+    /// `key`, `key.sub`, `"quoted".sub` …
+    fn parse_dotted_key(&mut self) -> Result<Vec<String>> {
+        let mut keys = Vec::new();
+        loop {
+            self.skip_ws();
+            keys.push(self.parse_key()?);
+            self.skip_ws();
+            if self.peek() == Some(b'.') {
+                self.i += 1;
+            } else {
+                return Ok(keys);
+            }
+        }
+    }
+
+    fn parse_key(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(b'"') => self.parse_basic_string(),
+            Some(b'\'') => self.parse_literal_string(),
+            _ => {
+                let start = self.i;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+                {
+                    self.i += 1;
+                }
+                if self.i == start {
+                    return self.err("expected a key");
+                }
+                Ok(String::from_utf8_lossy(&self.s[start..self.i]).into_owned())
+            }
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        if self.s[self.i..].starts_with(b"\"\"") {
+            return self.err("multi-line strings are not supported in specs");
+        }
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return self.err("unterminated string"),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().and_then(|c| (c as char).to_digit(16));
+                            match d {
+                                Some(d) => code = code * 16 + d,
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        match char::from_u32(code) {
+                            Some(ch) => {
+                                let mut buf = [0u8; 4];
+                                out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                            }
+                            None => return self.err("bad \\u escape"),
+                        }
+                    }
+                    Some(c) => return self.err(format!("unsupported escape '\\{}'", c as char)),
+                    None => return self.err("unterminated string"),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+        String::from_utf8(out).map_err(|_| self.at_line(SpecError::new("invalid UTF-8 in string")))
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String> {
+        self.expect(b'\'')?;
+        let start = self.i;
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return self.err("unterminated string"),
+                Some(b'\'') => break,
+                Some(_) => {}
+            }
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.i - 1]).into_owned())
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > 32 {
+            return self.err("value nesting too deep");
+        }
+        match self.peek() {
+            None => self.err("expected a value"),
+            Some(b'"') => Ok(Value::Str(self.parse_basic_string()?)),
+            Some(b'\'') => Ok(Value::Str(self.parse_literal_string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_trivia();
+                    if self.peek() == Some(b']') {
+                        self.i += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_trivia();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.i += 1;
+                        }
+                        Some(b']') => {}
+                        _ => return self.err("expected ',' or ']' in array"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut kv: Vec<(String, Value)> = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Value::Table(kv));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_key()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let v = self.parse_value(depth + 1)?;
+                    if kv.iter().any(|(k, _)| *k == key) {
+                        return self.err(format!("duplicate key '{key}'"));
+                    }
+                    kv.push((key, v));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => {}
+                        Some(b'}') => return Ok(Value::Table(kv)),
+                        _ => return self.err("expected ',' or '}' in inline table"),
+                    }
+                }
+            }
+            Some(_) => self.parse_scalar(),
+        }
+    }
+
+    /// Booleans and numbers (the scalar word up to a delimiter).
+    fn parse_scalar(&mut self) -> Result<Value> {
+        let start = self.i;
+        while matches!(self.peek(), Some(c)
+            if !matches!(c, b',' | b']' | b'}' | b'#' | b'\n' | b'\r' | b' ' | b'\t'))
+        {
+            self.i += 1;
+        }
+        let word = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        match word.as_str() {
+            "" => self.err("expected a value"),
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => self.parse_number(&word),
+        }
+    }
+
+    fn parse_number(&self, word: &str) -> Result<Value> {
+        // A '-' that is neither the leading sign nor an exponent sign
+        // (as in `-1.5e-3`) marks a date, which specs don't support.
+        let chars: Vec<char> = word.chars().collect();
+        let interior_dash = chars
+            .iter()
+            .enumerate()
+            .any(|(i, &c)| c == '-' && i > 0 && !matches!(chars[i - 1], 'e' | 'E'));
+        if word.contains(':') || interior_dash {
+            return self.err(format!(
+                "'{word}' looks like a date — dates are not supported"
+            ));
+        }
+        let clean: String = word.chars().filter(|&c| c != '_').collect();
+        let (sign, digits) = match clean.strip_prefix('-') {
+            Some(rest) => (-1i128, rest),
+            None => (1, clean.strip_prefix('+').unwrap_or(&clean)),
+        };
+        let radix = [("0x", 16), ("0o", 8), ("0b", 2)]
+            .iter()
+            .find_map(|(p, r)| digits.strip_prefix(p).map(|d| (d, *r)));
+        if let Some((digits, radix)) = radix {
+            return i128::from_str_radix(digits, radix)
+                .map(|v| Value::Int(sign * v))
+                .map_err(|_| self.at_line(SpecError::new(format!("bad integer '{word}'"))));
+        }
+        if let Ok(v) = clean.parse::<i128>() {
+            return Ok(Value::Int(v));
+        }
+        clean
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.at_line(SpecError::new(format!("bad number '{word}'"))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_subset() {
+        let doc = parse(
+            r##"
+# top comment
+name = "demo"          # trailing comment
+count = 1_000
+neg = -3
+hex = 0x10
+ratio = 2.5
+sci = 1e3
+on = true
+path = 'C:\raw'
+multi = [1, 2,
+         3]            # multi-line array
+inline = { a = 1, b = "x" }
+
+[topology]
+kind = "fat_tree"
+k = 4
+
+[schemes.alpha]
+Occamy = 8.0
+
+[[emit]]
+title = "first"
+
+[[emit]]
+title = "second"
+"##,
+        )
+        .unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str().unwrap(), "demo");
+        assert_eq!(doc.get("count").unwrap().as_int().unwrap(), 1000);
+        assert_eq!(doc.get("neg").unwrap().as_int().unwrap(), -3);
+        assert_eq!(doc.get("hex").unwrap().as_int().unwrap(), 16);
+        assert_eq!(doc.get("ratio").unwrap().as_f64().unwrap(), 2.5);
+        assert_eq!(doc.get("sci").unwrap().as_f64().unwrap(), 1000.0);
+        assert!(doc.get("on").unwrap().as_bool().unwrap());
+        assert_eq!(doc.get("path").unwrap().as_str().unwrap(), "C:\\raw");
+        assert_eq!(doc.get("multi").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("inline")
+                .unwrap()
+                .get("b")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "x"
+        );
+        assert_eq!(
+            doc.get("topology")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "fat_tree"
+        );
+        assert_eq!(
+            doc.get("schemes")
+                .unwrap()
+                .get("alpha")
+                .unwrap()
+                .get("Occamy")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            8.0
+        );
+        let emits = doc.get("emit").unwrap().as_array().unwrap();
+        assert_eq!(emits.len(), 2);
+        assert_eq!(emits[1].get("title").unwrap().as_str().unwrap(), "second");
+    }
+
+    #[test]
+    fn negative_exponent_floats_are_not_dates() {
+        let doc = parse("a = -1.5e-3\nb = 2E-2\nc = -4e-1\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_f64().unwrap(), -1.5e-3);
+        assert_eq!(doc.get("b").unwrap().as_f64().unwrap(), 2e-2);
+        assert_eq!(doc.get("c").unwrap().as_f64().unwrap(), -0.4);
+        // Real dates still get the dedicated error.
+        let e = parse("d = 2024-01-01\n").unwrap_err();
+        assert!(e.message().contains("dates are not supported"), "{e}");
+    }
+
+    #[test]
+    fn key_order_is_preserved() {
+        let doc = parse("[grid]\nzeta = [1]\nalpha = [2]\nmid = [3]\n").unwrap();
+        let keys: Vec<&str> = doc
+            .get("grid")
+            .unwrap()
+            .entries()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["zeta", "alpha", "mid"]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("a = 1\nb = \n").unwrap_err();
+        assert!(e.message().starts_with("line 2:"), "{e}");
+        let e = parse("a = 1\na = 2\n").unwrap_err();
+        assert!(e.message().contains("duplicate key 'a'"), "{e}");
+        let e = parse("d = 2024-01-01\n").unwrap_err();
+        assert!(e.message().contains("dates are not supported"), "{e}");
+        let e = parse("s = \"\"\"x\"\"\"\n").unwrap_err();
+        assert!(e.message().contains("multi-line"), "{e}");
+    }
+
+    #[test]
+    fn junk_after_value_rejected() {
+        assert!(parse("a = 1 2\n").is_err());
+        assert!(parse("[t] extra\n").is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! The untyped document tree both readers (TOML and JSON) produce and
+//! the typed model consumes.
+
+use crate::error::{Result, SpecError};
+
+/// One parsed configuration value. Tables preserve key order (the spec
+/// compiler turns `[grid]` keys into grid axes in declaration order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An integer (wide enough for `u64` seeds in `BENCH_*.json`).
+    Int(i128),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A key-ordered table.
+    Table(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+
+    /// Looks up `key` in a table value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Table(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The table entries.
+    pub fn entries(&self) -> Result<&[(String, Value)]> {
+        match self {
+            Value::Table(kv) => Ok(kv),
+            other => Err(SpecError::new(format!(
+                "expected a table, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// The string content.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(SpecError::new(format!(
+                "expected a string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// The integer content.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => i64::try_from(*v)
+                .map_err(|_| SpecError::new(format!("integer {v} out of i64 range"))),
+            other => Err(SpecError::new(format!(
+                "expected an integer, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// The value as an unsigned integer.
+    pub fn as_u64(&self) -> Result<u64> {
+        match self {
+            Value::Int(v) => u64::try_from(*v)
+                .map_err(|_| SpecError::new(format!("expected a non-negative integer, found {v}"))),
+            other => Err(SpecError::new(format!(
+                "expected an integer, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// The value as a float (integers coerce).
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(SpecError::new(format!(
+                "expected a number, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// The boolean content.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(SpecError::new(format!(
+                "expected a boolean, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// The array elements.
+    pub fn as_array(&self) -> Result<&[Value]> {
+        match self {
+            Value::Array(v) => Ok(v),
+            other => Err(SpecError::new(format!(
+                "expected an array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_errors() {
+        let t = Value::Table(vec![
+            ("a".to_string(), Value::Int(3)),
+            ("b".to_string(), Value::Str("x".to_string())),
+        ]);
+        assert_eq!(t.get("a").unwrap().as_int().unwrap(), 3);
+        assert_eq!(t.get("a").unwrap().as_f64().unwrap(), 3.0);
+        assert_eq!(t.get("b").unwrap().as_str().unwrap(), "x");
+        assert!(t.get("missing").is_none());
+        let e = t.get("b").unwrap().as_int().unwrap_err();
+        assert!(e.message().contains("expected an integer, found string"));
+        assert!(Value::Int(-1).as_u64().is_err());
+    }
+}

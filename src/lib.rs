@@ -11,7 +11,10 @@
 //! - [`sim`] — the discrete-event network simulator (links, shared-memory
 //!   switches, DCTCP/CUBIC hosts, leaf-spine topologies).
 //! - [`traffic`] — workload generators (web-search CDF, incast queries,
-//!   all-to-all, all-reduce double binary trees).
+//!   all-to-all, permutation, all-reduce double binary trees).
+//! - [`spec`] — declarative TOML/JSON scenario descriptions (parsed,
+//!   validated and re-emittable; `occamy-bench run --spec` compiles them
+//!   into experiment grids).
 //! - [`stats`] — FCT/QCT metrics, percentiles, CDFs and table output.
 //!
 //! # Example
@@ -32,5 +35,6 @@
 pub use occamy_core as core;
 pub use occamy_hw as hw;
 pub use occamy_sim as sim;
+pub use occamy_spec as spec;
 pub use occamy_stats as stats;
 pub use occamy_traffic as traffic;
