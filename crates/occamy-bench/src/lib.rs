@@ -24,7 +24,11 @@
 //!   (leaf-spine / fat-tree / 3-tier with an oversubscription knob);
 //! - [`spec_scenario`] — compiles declarative `occamy-spec` documents
 //!   (`occamy-bench run --spec file.toml`) into registry-compatible
-//!   scenarios over `FabricScenario`.
+//!   scenarios over `FabricScenario`;
+//! - [`shard`] — splits a grid into self-contained shard plan files,
+//!   executes them independently (possibly on different machines) and
+//!   merges the partial results into the byte-identical report a direct
+//!   run produces (`occamy-bench shard plan|run|merge`).
 //!
 //! # CLI
 //!
@@ -49,6 +53,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;
+pub mod shard;
 pub mod spec_scenario;
 
 /// Returns `true` when quick mode is requested via `OCCAMY_QUICK=1`
@@ -57,7 +62,13 @@ pub fn quick_mode() -> bool {
     std::env::var("OCCAMY_QUICK").is_ok_and(|v| v == "1")
 }
 
-/// Path under `results/` for a figure's CSV output.
-pub fn results_path(name: &str) -> std::path::PathBuf {
-    std::path::Path::new("results").join(name)
+/// Returns `true` when `OCCAMY_FREEZE_PERF=1` (or `--freeze-perf`):
+/// wall-clock perf measurements are forced to zero so every report
+/// artifact is byte-reproducible. Simulation results are unaffected —
+/// this only blanks the timing fields (`wall_ms`, `events_per_sec`,
+/// `serial_cell_time_ms`, `batch_wall_ms`), which is what lets the CI
+/// shard-equivalence gate `cmp` a merged distributed run against a
+/// direct single-machine run.
+pub fn freeze_perf() -> bool {
+    std::env::var("OCCAMY_FREEZE_PERF").is_ok_and(|v| v == "1")
 }

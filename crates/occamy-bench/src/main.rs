@@ -1,9 +1,12 @@
-//! The `occamy-bench` CLI: lists and runs registered scenarios.
+//! The `occamy-bench` CLI: lists, runs and shards registered scenarios.
 //!
 //! ```text
 //! occamy-bench list [--spec FILE...]
 //! occamy-bench run <name...> [--spec FILE...] [--quick|--smoke] [--serial] [--threads N]
 //! occamy-bench all [--quick|--smoke] [--serial] [--threads N]
+//! occamy-bench shard plan <name> | --spec FILE  --shards N [--quick|--smoke] [--out-dir DIR]
+//! occamy-bench shard run <plan.json> [--serial] [--out FILE]
+//! occamy-bench shard merge <partial.json...> [--out-dir DIR]
 //! ```
 //!
 //! `run`/`all` execute the selected scenarios' grid cells in parallel
@@ -12,20 +15,36 @@
 //! `BENCH_<name>.json` per scenario. `--spec` loads a declarative
 //! TOML/JSON scenario description (see `specs/` and the `occamy-spec`
 //! crate) as a first-class scenario next to the static registry.
+//!
+//! The `shard` subcommands split one scenario's grid into self-contained
+//! plan files, execute them independently (any machine with this binary)
+//! and merge the partial results into the byte-identical report a direct
+//! run produces — see `occamy_bench::shard`.
 
 use occamy_bench::registry::{find_scenario, registry};
 use occamy_bench::runner;
 use occamy_bench::scenario::{Scale, Scenario};
+use occamy_bench::shard::{self, ShardSource};
 use occamy_bench::spec_scenario::SpecScenario;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: occamy-bench <command> [options]
 
 commands:
-  list                 show every registered scenario
+  list                 show every registered scenario with its grid-cell
+                       counts at full/quick/smoke scale (size --shards
+                       from these)
   run <name...>        run the named scenarios (see `list`)
   all                  run every registered scenario
+  shard plan <name>    split a scenario's grid into N self-contained
+                       shard files (shards/<name>.shard-<i>.json);
+                       use --spec FILE instead of a name for spec runs
+  shard run <file>     execute one shard plan, writing the partial
+                       result next to it (<plan>.result.json)
+  shard merge <f...>   merge partial results into the byte-identical
+                       BENCH_<name>.json + results/*.csv of a direct run
 
 options:
   --spec FILE          load a declarative scenario spec (.toml/.json);
@@ -34,6 +53,12 @@ options:
   --smoke              near-trivial grids (seconds; used by the smoke test)
   --serial             execute cells on one thread (baseline / profiling)
   --threads N          worker thread count (default: all cores)
+  --shards N           shard count for `shard plan`
+  --out-dir DIR        output directory (`shard plan`: default shards/;
+                       `shard merge`: default .)
+  --out FILE           partial-result path for `shard run`
+  --freeze-perf        zero all wall-clock perf fields so reports are
+                       byte-reproducible (also: OCCAMY_FREEZE_PERF=1)
 ";
 
 struct Args {
@@ -42,6 +67,9 @@ struct Args {
     specs: Vec<&'static SpecScenario>,
     scale: Scale,
     parallel: bool,
+    shards: Option<usize>,
+    out_dir: Option<String>,
+    out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,15 +78,33 @@ fn parse_args() -> Result<Args, String> {
     let mut specs = Vec::new();
     let mut scale = Scale::from_env();
     let mut parallel = true;
+    let mut shards = None;
+    let mut out_dir = None;
+    let mut out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--smoke" => scale = Scale::Smoke,
             "--serial" => parallel = false,
+            "--freeze-perf" => std::env::set_var("OCCAMY_FREEZE_PERF", "1"),
             "--spec" => {
                 let path = args.next().ok_or("--spec needs a file path")?;
                 specs.push(SpecScenario::load(&path)?);
+            }
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--shards needs a positive integer")?,
+                );
+            }
+            "--out-dir" => {
+                out_dir = Some(args.next().ok_or("--out-dir needs a directory path")?);
+            }
+            "--out" => {
+                out = Some(args.next().ok_or("--out needs a file path")?);
             }
             "--threads" => {
                 let n = args
@@ -85,34 +131,43 @@ fn parse_args() -> Result<Args, String> {
         specs,
         scale,
         parallel,
+        shards,
+        out_dir,
+        out,
     })
 }
 
-fn list(scale: Scale, specs: &[&'static SpecScenario]) {
+/// One catalog line: name, per-scale grid-cell counts (so operators can
+/// size `--shards` without reading figure code) and the description.
+fn list_line(s: &dyn Scenario) -> String {
+    format!(
+        "  {:<22} {:>4} cells (quick {:>3}, smoke {:>2})  {}",
+        s.name(),
+        s.grid(Scale::Full).len(),
+        s.grid(Scale::Quick).len(),
+        s.grid(Scale::Smoke).len(),
+        s.description()
+    )
+}
+
+fn list(specs: &[&'static SpecScenario]) {
     println!(
-        "registered scenarios ({}, {scale} scale):\n",
+        "registered scenarios ({}; cell counts at full scale):\n",
         registry().len()
     );
     for s in registry() {
-        println!(
-            "  {:<22} {:>3} cells  {}",
-            s.name(),
-            s.grid(scale).len(),
-            s.description()
-        );
+        println!("{}", list_line(*s));
     }
     if !specs.is_empty() {
         println!("\nloaded specs ({}):\n", specs.len());
         for s in specs {
-            println!(
-                "  {:<22} {:>3} cells  {}",
-                s.name(),
-                s.grid(scale).len(),
-                s.description()
-            );
+            println!("{}", list_line(*s));
         }
     }
-    println!("\nrun one with: occamy-bench run <name>   (or `all`, or `run --spec file.toml`)");
+    println!(
+        "\nrun one with: occamy-bench run <name>   (or `all`, or `run --spec file.toml`);\n\
+         split a big grid across machines with: occamy-bench shard plan <name> --shards N"
+    );
 }
 
 fn run(scenarios: Vec<&'static dyn Scenario>, scale: Scale, parallel: bool) -> ExitCode {
@@ -125,6 +180,70 @@ fn run(scenarios: Vec<&'static dyn Scenario>, scale: Scale, parallel: bool) -> E
     }
     runner::print_stats(&stats);
     ExitCode::SUCCESS
+}
+
+fn shard_command(args: &Args) -> Result<(), String> {
+    let Some((sub, rest)) = args.names.split_first() else {
+        return Err("`shard` needs a subcommand: plan, run or merge".to_string());
+    };
+    match sub.as_str() {
+        "plan" => {
+            let source = match (rest, args.specs.as_slice()) {
+                ([name], []) => ShardSource::from_name(name)?,
+                ([], [spec]) => ShardSource::Spec(spec),
+                ([], []) => {
+                    return Err("`shard plan` needs a scenario name or one --spec FILE".to_string())
+                }
+                _ => {
+                    return Err(
+                        "`shard plan` takes exactly one scenario name or one --spec FILE"
+                            .to_string(),
+                    )
+                }
+            };
+            let shards = args.shards.ok_or("`shard plan` needs --shards N")?;
+            let out_dir = args.out_dir.clone().unwrap_or_else(|| "shards".to_string());
+            let paths = shard::plan(&source, args.scale, shards, Path::new(&out_dir))?;
+            let cells = source.scenario().grid(args.scale).len();
+            println!(
+                "planned '{}' ({} scale, {cells} cells) into {shards} shards:",
+                source.scenario().name(),
+                args.scale
+            );
+            for p in &paths {
+                println!("  {}", p.display());
+            }
+            println!(
+                "\nexecute each with: occamy-bench shard run <file>\n\
+                 then merge with:   occamy-bench shard merge {}/{}.shard-*.result.json",
+                out_dir,
+                source.scenario().name()
+            );
+            Ok(())
+        }
+        "run" => {
+            let [file] = rest else {
+                return Err("`shard run` takes exactly one plan file".to_string());
+            };
+            let out = args.out.as_ref().map(Path::new);
+            let path = shard::run_shard(Path::new(file), args.parallel, out)?;
+            println!("wrote {}", path.display());
+            Ok(())
+        }
+        "merge" => {
+            if rest.is_empty() {
+                return Err("`shard merge` needs at least one partial-result file".to_string());
+            }
+            let partials: Vec<PathBuf> = rest.iter().map(PathBuf::from).collect();
+            let out_root = args.out_dir.clone().unwrap_or_else(|| ".".to_string());
+            let path = shard::merge(&partials, Path::new(&out_root))?;
+            println!("merged {} partials -> {}", partials.len(), path.display());
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown shard subcommand '{other}' (expected plan, run or merge)"
+        )),
+    }
 }
 
 fn main() -> ExitCode {
@@ -141,7 +260,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "list" => {
-            list(args.scale, &args.specs);
+            list(&args.specs);
             ExitCode::SUCCESS
         }
         "all" => {
@@ -177,6 +296,13 @@ fn main() -> ExitCode {
             }
             run(selected, args.scale, args.parallel)
         }
+        "shard" => match shard_command(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         other => {
             eprintln!("error: unknown command '{other}'\n\n{USAGE}");
             ExitCode::from(2)

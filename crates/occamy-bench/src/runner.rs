@@ -6,8 +6,15 @@
 //! so a wide grid keeps every core busy even while a narrow one
 //! finishes. Results are reassembled in grid order before `emit`, so the
 //! printed tables are identical however many threads ran.
+//!
+//! Execution and report assembly are separate stages on purpose: a
+//! direct `run` executes a whole grid and assembles immediately, while
+//! the shard pipeline (see [`crate::shard`]) executes subsets of a grid
+//! on different machines ([`run_cells`]) and assembles later from the
+//! reunited outcomes ([`assemble`] + [`render_into`]) — both paths go
+//! through the same code, which is what makes a merged distributed run
+//! byte-identical to a single-machine run.
 
-use crate::results_path;
 use crate::scenario::{CellOutcome, CellSpec, Report, Scale, Scenario};
 use occamy_stats::{Json, Table};
 use rayon::prelude::*;
@@ -164,18 +171,19 @@ pub fn execute(
     } else {
         jobs.iter().map(run_one).collect()
     };
-    let wall = started.elapsed();
+    let wall = if crate::freeze_perf() {
+        Duration::ZERO
+    } else {
+        started.elapsed()
+    };
 
     let mut per_scenario: Vec<Vec<CellOutcome>> =
         grids.iter().map(|&n| Vec::with_capacity(n)).collect();
     for (which, outcome) in raw {
         per_scenario[which].push(outcome);
     }
-    // Job order within a scenario is grid order, and the shim preserves
-    // input order — but sort defensively so emit never sees a permuted
-    // grid even if the parallel backend changes.
     for outcomes in &mut per_scenario {
-        outcomes.sort_by_key(|o| o.spec.index);
+        freeze_walls(outcomes);
     }
 
     let serial = per_scenario.iter().flatten().map(|o| o.wall).sum();
@@ -184,11 +192,7 @@ pub fn execute(
     let runs = scenarios
         .iter()
         .zip(per_scenario)
-        .map(|(scenario, outcomes)| ScenarioRun {
-            scenario: *scenario,
-            report: scenario.emit(&outcomes),
-            outcomes,
-        })
+        .map(|(scenario, outcomes)| assemble(*scenario, outcomes))
         .collect();
 
     let stats = ExecStats {
@@ -202,6 +206,60 @@ pub fn execute(
         },
     };
     (runs, stats)
+}
+
+/// Executes one scenario's `cells` (any subset of its grid, in any
+/// order) and returns their outcomes in input order — the execution
+/// half shared by `run` (via [`execute`]'s job list) and `shard run`,
+/// which feeds a planned subset instead of the whole grid.
+pub fn run_cells(
+    scenario: &'static dyn Scenario,
+    cells: &[CellSpec],
+    parallel: bool,
+) -> Vec<CellOutcome> {
+    let run_one = |spec: &CellSpec| -> CellOutcome {
+        let start = Instant::now();
+        let result = scenario.run(spec);
+        CellOutcome {
+            spec: spec.clone(),
+            result,
+            wall: start.elapsed(),
+        }
+    };
+    let mut outcomes: Vec<CellOutcome> = if parallel {
+        cells.par_iter().map(run_one).collect()
+    } else {
+        cells.iter().map(run_one).collect()
+    };
+    freeze_walls(&mut outcomes);
+    outcomes
+}
+
+/// Reassembles a scenario's outcomes into grid order and folds them
+/// through [`Scenario::emit`] — the assembly half shared by [`execute`]
+/// and `shard merge`. Sorting here (rather than trusting the caller)
+/// means emit never sees a permuted grid, whether the outcomes arrived
+/// from a parallel backend or from shard files in arbitrary order.
+pub fn assemble(scenario: &'static dyn Scenario, mut outcomes: Vec<CellOutcome>) -> ScenarioRun {
+    outcomes.sort_by_key(|o| o.spec.index);
+    ScenarioRun {
+        scenario,
+        report: scenario.emit(&outcomes),
+        outcomes,
+    }
+}
+
+/// Under `OCCAMY_FREEZE_PERF=1` (see [`crate::freeze_perf`]) wall-clock
+/// measurements are forced to zero at the moment they are collected, so
+/// every downstream artifact — `BENCH_<name>.json`, `results/*_perf.csv`
+/// — is byte-reproducible and a merged distributed run can be `cmp`-ed
+/// against a direct run.
+fn freeze_walls(outcomes: &mut [CellOutcome]) {
+    if crate::freeze_perf() {
+        for o in outcomes {
+            o.wall = Duration::ZERO;
+        }
+    }
 }
 
 /// One cell's perf numbers: wall clock in ms and, when the cell counted
@@ -240,24 +298,32 @@ fn perf_table(run: &ScenarioRun) -> Table {
 }
 
 /// Prints a run's tables and notes, mirrors tables to their CSV files
-/// and writes `BENCH_<name>.json`. Returns the JSON path.
-pub fn render(run: &ScenarioRun, scale: Scale, batch_wall: Duration) -> std::io::Result<PathBuf> {
+/// under `<root>/results/` and writes `<root>/BENCH_<name>.json`.
+/// Returns the JSON path. `root = "."` is the CLI behavior ([`render`]);
+/// tests and `shard merge` point it elsewhere.
+pub fn render_into(
+    run: &ScenarioRun,
+    scale: Scale,
+    batch_wall: Duration,
+    root: &std::path::Path,
+) -> std::io::Result<PathBuf> {
     println!(
         "=== {} — {} ({} cells) ===\n",
         run.scenario.name(),
         run.scenario.description(),
         run.outcomes.len()
     );
+    let results_dir = root.join("results");
     for (table, csv) in run.report.tables() {
         table.print();
         if let Some(csv) = csv {
-            table.to_csv(&results_path(csv))?;
+            table.to_csv(&results_dir.join(csv))?;
         }
     }
     for note in run.report.notes() {
         println!("{note}");
     }
-    perf_table(run).to_csv(&results_path(&format!("{}_perf.csv", run.scenario.name())))?;
+    perf_table(run).to_csv(&results_dir.join(format!("{}_perf.csv", run.scenario.name())))?;
     let events = run.events_total();
     if events > 0 {
         println!(
@@ -267,10 +333,15 @@ pub fn render(run: &ScenarioRun, scale: Scale, batch_wall: Duration) -> std::io:
             run.events_per_sec(),
         );
     }
-    let path = PathBuf::from(format!("BENCH_{}.json", run.scenario.name()));
+    let path = root.join(format!("BENCH_{}.json", run.scenario.name()));
     run.to_json(scale, batch_wall).write_to(&path)?;
     println!("\nwrote {}\n", path.display());
     Ok(path)
+}
+
+/// [`render_into`] the current directory — what the CLI does.
+pub fn render(run: &ScenarioRun, scale: Scale, batch_wall: Duration) -> std::io::Result<PathBuf> {
+    render_into(run, scale, batch_wall, std::path::Path::new("."))
 }
 
 /// Prints the closing parallelism summary of an `execute` call.

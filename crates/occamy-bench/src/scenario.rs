@@ -54,6 +54,17 @@ impl Scale {
     pub fn is_reduced(self) -> bool {
         self != Scale::Full
     }
+
+    /// Parses the `Display` spelling back (shard files record the scale
+    /// a plan was generated at).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "full" => Some(Scale::Full),
+            "quick" => Some(Scale::Quick),
+            "smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Scale {
@@ -142,6 +153,24 @@ pub struct CellSpec {
 }
 
 impl CellSpec {
+    /// Reconstructs a cell from its serialized parts — the
+    /// deserialization path of shard plan files (see [`crate::shard`]).
+    /// The regular construction path is [`Grid::build`], which derives
+    /// `seed` from the grid name and `index`.
+    pub fn from_parts(
+        index: usize,
+        seed: u64,
+        scale: Scale,
+        params: Vec<(String, Value)>,
+    ) -> CellSpec {
+        CellSpec {
+            index,
+            seed,
+            scale,
+            params,
+        }
+    }
+
     /// Looks a parameter up by name.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)

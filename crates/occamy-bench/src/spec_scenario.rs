@@ -95,6 +95,14 @@ impl SpecScenario {
         &self.doc
     }
 
+    /// Canonical TOML of the document (`SpecDoc::to_toml`) — what
+    /// `shard plan` embeds so a shard file is self-contained: the
+    /// machine running `shard run` needs neither the original spec file
+    /// nor its path, only the plan.
+    pub fn canonical_toml(&self) -> String {
+        self.doc.to_toml()
+    }
+
     /// The base scenario (before grid-axis overrides) for `scheme`.
     fn base_scenario(&self, scheme: &str) -> FabricScenario {
         let t = &self.doc.topology;

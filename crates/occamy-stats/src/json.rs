@@ -1,10 +1,14 @@
 //! Minimal JSON document model for machine-readable experiment reports.
 //!
 //! The build environment has no crates.io access, so `serde`/`serde_json`
-//! are unavailable; this hand-rolled value type covers the one direction
-//! the workspace needs — *emitting* reports — with correct string
-//! escaping and clean integer formatting. Construction is explicit
-//! (`Json::obj`, `Json::arr`, `From` impls) rather than derive-based.
+//! are unavailable; this hand-rolled value type covers both directions
+//! the workspace needs — *emitting* reports and *reading them back* (the
+//! shard plan/run/merge pipeline round-trips cell specs and partial
+//! results through files) — with correct string escaping and clean
+//! integer formatting. Construction is explicit (`Json::obj`,
+//! `Json::arr`, `From` impls) rather than derive-based, and
+//! [`Json::parse`] is exact: a document emitted by this module parses
+//! back to a value that re-renders byte-identically.
 
 use std::fmt;
 use std::path::Path;
@@ -54,6 +58,343 @@ impl Json {
             }
         }
         std::fs::write(path, format!("{self}\n"))
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Numbers without sign, fraction or exponent that fit a `u64`
+    /// become [`Json::UInt`] (exact — seeds exceed 2^53); everything
+    /// else numeric becomes [`Json::Num`]. Errors carry a line:column
+    /// position and a short description of what was expected.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content after the JSON document"));
+        }
+        Ok(v)
+    }
+
+    /// Member of an object by key (`None` for other variants / missing).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (`Num` or `UInt`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`: a `UInt`, or a `Num` that is a
+    /// non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Num(v) if v.fract() == 0.0 && *v >= 0.0 && *v < 1.8446744073709552e19 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` pairs in document order, when this is an
+    /// object.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Parser
+// -------------------------------------------------------------------
+
+/// Nesting bound: the parser recurses per container level, so without a
+/// cap a pathological `[[[[…` input (a corrupted shard file, say) would
+/// overflow the stack — an uncatchable abort instead of an error. Real
+/// report documents nest 4–5 levels deep.
+const MAX_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        format!("{what} at line {line} column {col}")
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[', "expected '['")?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{', "expected '{'")?;
+        self.enter()?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape sequence")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Parser| {
+            let before = p.pos;
+            while p.peek().is_some_and(|b| b.is_ascii_digit()) {
+                p.pos += 1;
+            }
+            p.pos > before
+        };
+        if !digits(self) {
+            return Err(self.err("expected digits in number"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !digits(self) {
+                return Err(self.err("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if integral && !text.starts_with('-') {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err("malformed number literal"))?;
+        if !v.is_finite() {
+            return Err(self.err("number out of f64 range"));
+        }
+        Ok(Json::Num(v))
     }
 }
 
@@ -195,6 +536,99 @@ mod tests {
         let seed = 17_293_822_569_102_704_642u64;
         assert_eq!(Json::from(seed).render(), "17293822569102704642");
         assert_eq!(Json::from(u64::MAX).render(), "18446744073709551615");
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_documents() {
+        let doc = Json::obj([
+            ("scenario", Json::from("fig12")),
+            ("seed", Json::from(17_293_822_569_102_704_642u64)),
+            ("loss", Json::from(0.25)),
+            ("neg", Json::from(-3.0)),
+            ("big", Json::from(1e300)),
+            ("empty", Json::arr([])),
+            ("flags", Json::arr([Json::from(true), Json::Null])),
+            ("label", Json::from("α=2 \"quoted\"\nline")),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.render(), text, "parse→render must be the identity");
+        assert_eq!(
+            back.get("seed").unwrap(),
+            &Json::UInt(17_293_822_569_102_704_642)
+        );
+        assert_eq!(back.get("loss").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(back.get("neg").and_then(Json::as_f64), Some(-3.0));
+        assert_eq!(
+            back.get("label").and_then(Json::as_str),
+            Some("α=2 \"quoted\"\nline")
+        );
+    }
+
+    #[test]
+    fn parse_accepts_standard_json() {
+        let v =
+            Json::parse(" { \"a\" : [ 1 , 2.5e1 , \"x\\u0041\\ud83d\\ude00\" ] , \"b\" : { } } ")
+                .unwrap();
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0], Json::UInt(1));
+        assert_eq!(arr[1].as_f64(), Some(25.0));
+        assert_eq!(arr[2].as_str(), Some("xA😀"));
+        assert_eq!(v.get("b").and_then(Json::entries), Some(&[][..]));
+    }
+
+    #[test]
+    fn integer_kinds_are_preserved() {
+        assert_eq!(Json::parse("0").unwrap(), Json::UInt(0));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        // One past u64::MAX falls back to f64.
+        assert!(matches!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Num(_)
+        ));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Num(-7.0));
+        assert_eq!(Json::parse("-7").unwrap().render(), "-7");
+    }
+
+    #[test]
+    fn parse_errors_name_position_and_expectation() {
+        for (text, needle) in [
+            ("", "unexpected end of input"),
+            ("{\"a\":1,}", "expected"),
+            ("[1 2]", "expected ',' or ']'"),
+            ("\"abc", "unterminated string"),
+            ("{\"a\":01x}", "expected ',' or '}'"),
+            ("nul", "expected 'null'"),
+            ("1e999", "out of f64 range"),
+            ("{\"a\":1}\n{\"b\":2}", "trailing content"),
+        ] {
+            let e = Json::parse(text).unwrap_err();
+            assert!(e.contains(needle), "{text:?}: {e}");
+            assert!(e.contains("line"), "{text:?}: error lacks position: {e}");
+        }
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing_the_stack() {
+        let deep = "[".repeat(200_000);
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.contains("nesting deeper than"), "{e}");
+        // …while legitimate nesting parses fine.
+        let ok = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors_reject_other_variants() {
+        assert_eq!(Json::Null.as_f64(), None);
+        assert_eq!(Json::from("x").as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(3.0).as_u64(), Some(3));
+        assert_eq!(Json::from(2u64).get("k"), None);
+        assert_eq!(Json::Null.as_arr(), None);
     }
 
     #[test]
