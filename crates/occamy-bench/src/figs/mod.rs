@@ -60,4 +60,5 @@ pub mod fig20;
 pub mod fig21;
 pub mod fig22;
 pub mod fig23;
+pub mod perf_transport;
 pub mod table01;

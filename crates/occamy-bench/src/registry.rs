@@ -25,6 +25,7 @@ static REGISTRY: &[&dyn Scenario] = &[
     &figs::fig23::Fig23,
     &figs::table01::Table01,
     &figs::ablation_token_rate::AblationTokenRate,
+    &figs::perf_transport::PerfTransport,
 ];
 
 /// All registered scenarios, in catalog order.

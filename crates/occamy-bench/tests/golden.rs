@@ -25,8 +25,10 @@ use std::path::PathBuf;
 
 /// The tracked scenarios: one CBR micro-testbed (fig03), one CBR sweep
 /// with an α axis (fig12), one transport-level leaf-spine study
-/// (fig20) — together they cover every simulation substrate.
-const TRACKED: &[&str] = &["fig03", "fig12", "fig20"];
+/// (fig20) and the transport hot-path baseline (perf_transport, whose
+/// *headline* metrics must survive transport-layer perf work untouched)
+/// — together they cover every simulation substrate.
+const TRACKED: &[&str] = &["fig03", "fig12", "fig20", "perf_transport"];
 
 /// Metric keys excluded from the comparison (perf, not results).
 const PERF_METRICS: &[&str] = &["events"];

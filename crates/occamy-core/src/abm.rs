@@ -125,6 +125,23 @@ impl BufferManager for Abm {
         self.drain[q].record(len, now_ns);
     }
 
+    fn on_dequeue_many(
+        &mut self,
+        q: QueueId,
+        len: u64,
+        count: u64,
+        now_ns: u64,
+        _state: &BufferState,
+    ) {
+        // Bit-exact with `count` single records (see
+        // `RateEstimator::record_many`), but the repeated same-timestamp
+        // sample is priced once instead of per packet.
+        if count > 0 {
+            self.now_ns = now_ns;
+        }
+        self.drain[q].record_many(len, count, now_ns);
+    }
+
     fn select_victim(&mut self, _state: &BufferState) -> Option<QueueId> {
         None
     }
@@ -139,6 +156,37 @@ mod tests {
     use super::*;
 
     const GBPS_10: u64 = 10_000_000_000;
+
+    /// The batched dequeue hook must be indistinguishable — to the bit —
+    /// from the per-packet loop, including through the `AnyBm` dispatch
+    /// the simulator actually calls.
+    #[test]
+    fn batched_dequeue_matches_loop_bit_exactly() {
+        use crate::{AnyBm, BmKind};
+        let mk = || BmKind::Abm.build(QueueConfig::uniform(2, GBPS_10, 2.0));
+        let (mut a, mut b): (AnyBm, AnyBm) = (mk(), mk());
+        let mut state = BufferState::new(1_000_000, 2);
+        for _ in 0..6 {
+            state.enqueue(0, 1_500).unwrap();
+        }
+        for bm in [&mut a, &mut b] {
+            bm.on_enqueue(0, 1_500, 100, &state);
+            bm.on_dequeue(0, 1_500, 2_000, &state);
+        }
+        // A port drains 5 equal packets within one nanosecond quantum.
+        a.on_dequeue_many(0, 1_500, 5, 3_000, &state);
+        for _ in 0..5 {
+            b.on_dequeue(0, 1_500, 3_000, &state);
+        }
+        for now in [3_000, 50_000, 1_000_000] {
+            assert_eq!(
+                a.threshold(0, &state),
+                b.threshold(0, &state),
+                "thresholds diverged"
+            );
+            let _ = now;
+        }
+    }
 
     #[test]
     fn empty_buffer_full_rate_matches_dt() {

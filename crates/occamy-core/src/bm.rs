@@ -127,6 +127,42 @@ pub trait BufferManager {
         let _ = (q, len, now_ns, state);
     }
 
+    /// Batched [`BufferManager::on_dequeue`]: `count` equal-size packets
+    /// leaving queue `q` at one timestamp — the shape of a port (or a
+    /// drop burst) draining back-to-back within a nanosecond quantum.
+    /// `state` must already reflect all `count` departures.
+    ///
+    /// The default loops over `on_dequeue`; schemes that feed rate
+    /// estimators from this hook (ABM's per-queue drain EWMA) override
+    /// it with [`crate::RateEstimator::record_many`], which is bit-exact
+    /// with the loop but prices the repeated sample once. Only safe for
+    /// schemes whose dequeue hook does not feed victim selection
+    /// between departures (preemptive trackers need the per-packet
+    /// default).
+    ///
+    /// The discrete-event simulator deliberately does **not** call this
+    /// from its drop loops today: the schemes reachable there (Occamy,
+    /// Pushout) re-select a victim after every departure, so their
+    /// hooks must run per packet, and ABM — the one scheme with a rate
+    /// estimator — is never preempted. The hook exists so a batching
+    /// substrate (a cycle-level TM draining same-size cell runs, or a
+    /// future coalesced drain path) gets the cheap bit-exact update
+    /// without re-deriving the equivalence argument; until then its
+    /// contract is pinned by the ABM/`AnyBm` equivalence tests and the
+    /// `transport_hot` microbenches.
+    fn on_dequeue_many(
+        &mut self,
+        q: QueueId,
+        len: u64,
+        count: u64,
+        now_ns: u64,
+        state: &BufferState,
+    ) {
+        for _ in 0..count {
+            self.on_dequeue(q, len, now_ns, state);
+        }
+    }
+
     /// Picks a queue to head-drop from, or `None` if no queue is
     /// over-allocated (non-preemptive schemes always return `None`).
     fn select_victim(&mut self, state: &BufferState) -> Option<QueueId>;
@@ -228,6 +264,18 @@ impl BufferManager for AnyBm {
     #[inline]
     fn on_dequeue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
         dispatch!(self, bm => bm.on_dequeue(q, len, now_ns, state))
+    }
+
+    #[inline]
+    fn on_dequeue_many(
+        &mut self,
+        q: QueueId,
+        len: u64,
+        count: u64,
+        now_ns: u64,
+        state: &BufferState,
+    ) {
+        dispatch!(self, bm => bm.on_dequeue_many(q, len, count, now_ns, state))
     }
 
     #[inline]

@@ -1,32 +1,61 @@
-//! The event queue: a time-ordered heap with deterministic tie-breaking.
+//! The event queue: a time-ordered queue with deterministic
+//! tie-breaking, backed by a hierarchical timer wheel.
 //!
 //! The queue is built for event-loop throughput (profiles of the figure
-//! sweeps showed heap maintenance dominating wall clock):
+//! sweeps showed queue maintenance dominating wall clock):
 //!
 //! - **Interned packets**: `Arrive` carries a [`PacketId`] into a slab
-//!   pool instead of the ~56-byte [`Packet`], so a heap node is a few
-//!   words and sift operations stay within one cache line. Pool slots
-//!   are recycled on [`EventQueue::take_packet`], making the steady-state
-//!   loop allocation-free.
+//!   pool instead of the ~56-byte [`Packet`], so a queue entry is a few
+//!   words. Pool slots are recycled on [`EventQueue::take_packet`],
+//!   making the steady-state loop allocation-free.
 //! - **Compact events**: indices are `u32`; periodic samplers live in the
 //!   world and are referenced by id.
-//! - **A deferred lane** for the bulk of setup-time events (flow starts):
-//!   they are sorted once instead of inflating the binary heap that every
-//!   runtime push/pop has to sift through.
+//! - **A timer wheel** ([`crate::timer::TimerWheel`]) instead of a
+//!   binary heap. A simulator's pushes are near-future, which is a
+//!   min-heap's worst case (every push sifts to near the root), and
+//!   transport runs keeping tens of thousands of pending `Rto` timers
+//!   made the heap deep for every packet event. The wheel buckets
+//!   entries by expiry tick in O(1) amortized and the run loop merges
+//!   it in via a single next-deadline probe. Retransmission timers go
+//!   through [`EventQueue::push_timer`]; their milliseconds-out
+//!   deadlines park on the wheel's high levels, off the packet path,
+//!   until the cursor approaches.
+//! - **A deferred lane** for the bulk of setup-time events (flow
+//!   starts): sorted once instead of cascading through the wheel.
 //!
-//! Events at equal timestamps pop in insertion order regardless of lane,
-//! which keeps runs bit-for-bit reproducible.
+//! Events at equal timestamps pop in insertion order regardless of lane
+//! (wheel or deferred — both share one global sequence counter), which
+//! keeps runs bit-for-bit reproducible.
 
 use crate::packet::{FlowId, Packet};
 use crate::time::Ps;
+use crate::timer::TimerWheel;
 
 /// A node in the simulated network.
+///
+/// Indices are `u32` so an [`Event::Arrive`] — the queue's most common
+/// entry — packs into 16 bytes; a wheel entry (key + event) is then two
+/// 16-byte halves instead of 40 loose bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeId {
     /// Host `index`.
-    Host(usize),
+    Host(u32),
     /// Switch `index`.
-    Switch(usize),
+    Switch(u32),
+}
+
+impl NodeId {
+    /// A host node.
+    #[inline]
+    pub fn host(i: usize) -> NodeId {
+        NodeId::Host(i as u32)
+    }
+
+    /// A switch node.
+    #[inline]
+    pub fn switch(i: usize) -> NodeId {
+        NodeId::Switch(i as u32)
+    }
 }
 
 /// Handle to a packet interned in the event queue's pool.
@@ -118,97 +147,16 @@ impl PacketPool {
 }
 
 /// Heap ordering key: `(time, global insertion sequence)`.
-type Key = (Ps, u64);
-
-/// A 4-ary min-heap with keys and payloads in separate arrays.
-///
-/// Versus `std::collections::BinaryHeap<(Key, Event)>`: half the depth,
-/// and a sift level compares against four *contiguous* 16-byte keys —
-/// one cache line — instead of chasing 40-byte nodes, which matters when
-/// tens of thousands of pending timers keep the heap deep.
-
-#[derive(Default)]
-struct QuadHeap {
-    keys: Vec<Key>,
-    events: Vec<Event>,
-}
-
-impl QuadHeap {
-    #[inline]
-    fn len(&self) -> usize {
-        self.keys.len()
-    }
-
-    #[inline]
-    fn is_empty(&self) -> bool {
-        self.keys.is_empty()
-    }
-
-    #[inline]
-    fn peek_key(&self) -> Option<Key> {
-        self.keys.first().copied()
-    }
-
-    #[inline]
-    fn push(&mut self, key: Key, event: Event) {
-        let mut i = self.keys.len();
-        self.keys.push(key);
-        self.events.push(event);
-        // Sift the hole up; write the new element once at its slot.
-        while i > 0 {
-            let parent = (i - 1) / 4;
-            if self.keys[parent] <= key {
-                break;
-            }
-            self.keys[i] = self.keys[parent];
-            self.events[i] = self.events[parent];
-            i = parent;
-        }
-        self.keys[i] = key;
-        self.events[i] = event;
-    }
-
-    fn pop(&mut self) -> Option<(Key, Event)> {
-        let top_key = *self.keys.first()?;
-        let top_event = self.events[0];
-        let key = self.keys.pop().expect("non-empty");
-        let event = self.events.pop().expect("non-empty");
-        let n = self.keys.len();
-        if n > 0 {
-            // Sift the former last element down from the root hole.
-            let mut i = 0;
-            loop {
-                let first = 4 * i + 1;
-                if first >= n {
-                    break;
-                }
-                let mut min = first;
-                for c in first + 1..(first + 4).min(n) {
-                    if self.keys[c] < self.keys[min] {
-                        min = c;
-                    }
-                }
-                if key <= self.keys[min] {
-                    break;
-                }
-                self.keys[i] = self.keys[min];
-                self.events[i] = self.events[min];
-                i = min;
-            }
-            self.keys[i] = key;
-            self.events[i] = event;
-        }
-        Some((top_key, top_event))
-    }
-}
+pub(crate) use crate::timer::Key;
 
 /// Time-ordered event queue.
 ///
 /// Events at equal timestamps pop in insertion order, which makes runs
-/// bit-for-bit reproducible regardless of heap internals.
+/// bit-for-bit reproducible regardless of queue internals.
 #[derive(Default)]
 pub struct EventQueue {
-    heap: QuadHeap,
+    /// All runtime events, bucketed by expiry tick.
+    wheel: TimerWheel,
     /// Setup-time events, kept sorted descending by `(at, seq)` so the
     /// next one is `last()`; sorted lazily before the first pop after a
     /// batch of [`EventQueue::push_deferred`] calls.
@@ -235,7 +183,7 @@ impl EventQueue {
     #[inline]
     pub fn push(&mut self, at: Ps, event: Event) {
         let seq = self.seq();
-        self.heap.push((at, seq), event);
+        self.wheel.arm((at, seq), event);
     }
 
     /// Schedules a setup-time event (e.g. a flow start) on the deferred
@@ -246,6 +194,17 @@ impl EventQueue {
         let seq = self.seq();
         self.deferred.push(((at, seq), event));
         self.deferred_dirty = true;
+    }
+
+    /// Schedules a timer event (an [`Event::Rto`]). Identical to
+    /// [`EventQueue::push`] — the wheel places any entry by its
+    /// deadline, so a milliseconds-out timer lands on a high level and
+    /// stays clear of the packet path with no separate lane needed.
+    /// The distinct name keeps timer call sites greppable and gives
+    /// timers a seam should they ever need different handling again.
+    #[inline]
+    pub fn push_timer(&mut self, at: Ps, event: Event) {
+        self.push(at, event);
     }
 
     /// Interns `pkt` and schedules its arrival at `node`.
@@ -281,23 +240,25 @@ impl EventQueue {
     /// and compare the lanes twice per event).
     pub fn pop_at_most(&mut self, limit: Ps) -> Option<(Ps, Event)> {
         self.settle_deferred();
-        let from_deferred = match (self.deferred.last(), self.heap.peek_key()) {
-            (Some(d), Some(h)) => d.0 < h,
+        // Pick the lane holding the global (time, seq) minimum. The
+        // wheel probe is O(1) once its ready buffer is filled.
+        let w = self.wheel.peek();
+        let from_deferred = match (self.deferred.last(), w) {
+            (Some(d), Some(wk)) => d.0 < wk,
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => return None,
         };
         let ((at, _), event) = if from_deferred {
-            let d = *self.deferred.last()?;
-            if d.0 .0 > limit {
+            if self.deferred.last()?.0 .0 > limit {
                 return None;
             }
             self.deferred.pop()?
         } else {
-            if self.heap.peek_key()?.0 > limit {
+            if w?.0 > limit {
                 return None;
             }
-            self.heap.pop()?
+            self.wheel.pop()?
         };
         Some((at, event))
     }
@@ -305,22 +266,19 @@ impl EventQueue {
     /// Time of the earliest pending event.
     pub fn peek_time(&mut self) -> Option<Ps> {
         self.settle_deferred();
-        match (self.deferred.last(), self.heap.peek_key()) {
-            (Some(d), Some((at, _))) => Some(d.0 .0.min(at)),
-            (Some(d), None) => Some(d.0 .0),
-            (None, Some((at, _))) => Some(at),
-            (None, None) => None,
-        }
+        let d = self.deferred.last().map(|e| e.0 .0);
+        let w = self.wheel.peek().map(|(at, _)| at);
+        [d, w].into_iter().flatten().min()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.deferred.len()
+        self.deferred.len() + self.wheel.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.deferred.is_empty()
+        self.deferred.is_empty() && self.wheel.is_empty()
     }
 }
 
@@ -389,6 +347,42 @@ mod tests {
     }
 
     #[test]
+    fn timer_lane_merges_in_global_order() {
+        // Timers, heap events and deferred events at equal and distinct
+        // times: pops must follow (time, global insertion sequence)
+        // exactly as if all events had gone through one heap.
+        let mut q = EventQueue::new();
+        q.push_timer(20, Event::HostTxFree { host: 0 }); // seq 0
+        q.push(10, Event::HostTxFree { host: 1 }); // seq 1
+        q.push_timer(10, Event::HostTxFree { host: 2 }); // seq 2
+        q.push_deferred(10, Event::HostTxFree { host: 3 }); // seq 3
+        q.push(20, Event::HostTxFree { host: 4 }); // seq 4
+        q.push_timer(5, Event::HostTxFree { host: 5 }); // seq 5
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.peek_time(), Some(5));
+        let order: Vec<(Ps, u32)> = std::iter::from_fn(|| {
+            q.pop().map(|(t, e)| match e {
+                Event::HostTxFree { host } => (t, host),
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(
+            order,
+            vec![(5, 5), (10, 1), (10, 2), (10, 3), (20, 0), (20, 4)]
+        );
+    }
+
+    #[test]
+    fn timer_pop_respects_limit() {
+        let mut q = EventQueue::new();
+        q.push_timer(50, Event::HostTxFree { host: 0 });
+        assert!(q.pop_at_most(49).is_none());
+        assert_eq!(q.pop_at_most(50).map(|(t, _)| t), Some(50));
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn deferred_push_after_pop_resorts() {
         let mut q = EventQueue::new();
         q.push_deferred(30, Event::HostTxFree { host: 0 });
@@ -427,11 +421,11 @@ mod tests {
 
     #[test]
     fn scheduled_nodes_are_compact() {
-        // The point of interning: a heap payload must stay well under the
-        // cache-line size the old fat `Arrive { pkt }` payload blew past,
-        // and four sibling keys must fit one cache line.
+        // The point of interning and the u32 NodeId: a wheel entry is
+        // (16-byte key, 16-byte event) — cascades and slot drains move
+        // two aligned halves, not a cache-line-straddling payload.
         assert!(
-            std::mem::size_of::<Event>() <= 24,
+            std::mem::size_of::<Event>() <= 16,
             "Event grew to {} bytes",
             std::mem::size_of::<Event>()
         );
@@ -439,7 +433,7 @@ mod tests {
     }
 
     #[test]
-    fn quad_heap_drains_sorted_under_stress() {
+    fn wheel_drains_sorted_under_stress() {
         let mut q = EventQueue::new();
         let mut x = 7u64;
         let mut n = 0u32;

@@ -2,8 +2,7 @@
 
 use crate::packet::{FlowId, Packet};
 use crate::time::Ps;
-use crate::transport::FlowState;
-use crate::SimConfig;
+use crate::transport::{FlowHot, TransportConsts};
 use std::collections::VecDeque;
 
 /// A host's access link.
@@ -24,6 +23,9 @@ pub struct HostLink {
 /// kernel/NIC behavior and keeps ACK clocks alive under incast), then raw
 /// CBR packets, then transport flows in round-robin, one segment per
 /// visit.
+///
+/// Flow access goes through the hot array only ([`FlowHot`]): emitting a
+/// segment never touches a flow's cold half.
 #[derive(Debug)]
 pub struct Host {
     /// Host index.
@@ -54,10 +56,10 @@ impl Host {
     }
 
     /// Marks a flow as having data to send (idempotent).
-    pub fn mark_ready(&mut self, flows: &mut [FlowState], f: FlowId) {
+    pub fn mark_ready(&mut self, flows: &mut [FlowHot], f: FlowId) {
         let fl = &mut flows[f as usize];
-        if !fl.in_host_queue && fl.can_send() {
-            fl.in_host_queue = true;
+        if !fl.in_host_queue() && fl.can_send() {
+            fl.set_in_host_queue(true);
             self.ready.push_back(f);
         }
     }
@@ -68,9 +70,9 @@ impl Host {
     /// producing a segment goes to the back of the queue.
     pub fn next_packet(
         &mut self,
-        flows: &mut [FlowState],
+        flows: &mut [FlowHot],
         now: Ps,
-        cfg: &SimConfig,
+        c: &TransportConsts,
     ) -> Option<Packet> {
         if let Some(ack) = self.ack_queue.pop_front() {
             return Some(ack);
@@ -81,14 +83,14 @@ impl Host {
         while let Some(f) = self.ready.pop_front() {
             let fl = &mut flows[f as usize];
             if !fl.can_send() {
-                fl.in_host_queue = false;
+                fl.set_in_host_queue(false);
                 continue;
             }
-            let pkt = fl.next_segment(now, cfg);
+            let pkt = fl.next_segment(now, c);
             if fl.can_send() {
                 self.ready.push_back(f);
             } else {
-                fl.in_host_queue = false;
+                fl.set_in_host_queue(false);
             }
             return Some(pkt);
         }
@@ -105,6 +107,11 @@ impl Host {
 mod tests {
     use super::*;
     use crate::transport::CcAlgo;
+    use crate::SimConfig;
+
+    fn consts() -> TransportConsts {
+        TransportConsts::new(&SimConfig::default())
+    }
 
     fn host() -> Host {
         Host::new(
@@ -117,47 +124,47 @@ mod tests {
         )
     }
 
-    fn started_flow(id: FlowId, bytes: u64, cfg: &SimConfig) -> FlowState {
-        let mut f = FlowState::new(id, 0, 1, bytes, 0, 0, CcAlgo::Dctcp, cfg);
-        f.started = true;
+    fn started_flow(id: FlowId, bytes: u64, c: &TransportConsts) -> FlowHot {
+        let mut f = FlowHot::new(id, 0, 1, bytes, 0, CcAlgo::Dctcp, c);
+        f.set_started(true);
         f
     }
 
     #[test]
     fn acks_preempt_data() {
-        let cfg = SimConfig::default();
+        let c = consts();
         let mut h = host();
-        let mut flows = vec![started_flow(0, 100_000, &cfg)];
+        let mut flows = vec![started_flow(0, 100_000, &c)];
         h.mark_ready(&mut flows, 0);
         h.ack_queue
             .push_back(Packet::ack(5, 0, 2, 100, false, 0, 0));
-        let first = h.next_packet(&mut flows, 0, &cfg).unwrap();
+        let first = h.next_packet(&mut flows, 0, &c).unwrap();
         assert_eq!(first.kind, crate::packet::PacketKind::Ack);
-        let second = h.next_packet(&mut flows, 0, &cfg).unwrap();
+        let second = h.next_packet(&mut flows, 0, &c).unwrap();
         assert_eq!(second.kind, crate::packet::PacketKind::Data);
     }
 
     #[test]
     fn flows_round_robin() {
-        let cfg = SimConfig::default();
+        let c = consts();
         let mut h = host();
         let mut flows = vec![
-            started_flow(0, 1_000_000, &cfg),
-            started_flow(1, 1_000_000, &cfg),
+            started_flow(0, 1_000_000, &c),
+            started_flow(1, 1_000_000, &c),
         ];
         h.mark_ready(&mut flows, 0);
         h.mark_ready(&mut flows, 1);
         let order: Vec<u32> = (0..4)
-            .map(|_| h.next_packet(&mut flows, 0, &cfg).unwrap().flow)
+            .map(|_| h.next_packet(&mut flows, 0, &c).unwrap().flow)
             .collect();
         assert_eq!(order, vec![0, 1, 0, 1]);
     }
 
     #[test]
     fn mark_ready_is_idempotent() {
-        let cfg = SimConfig::default();
+        let c = consts();
         let mut h = host();
-        let mut flows = vec![started_flow(0, 10_000, &cfg)];
+        let mut flows = vec![started_flow(0, 10_000, &c)];
         h.mark_ready(&mut flows, 0);
         h.mark_ready(&mut flows, 0);
         assert_eq!(h.ready.len(), 1);
@@ -165,31 +172,41 @@ mod tests {
 
     #[test]
     fn window_exhausted_flow_leaves_queue() {
-        let cfg = SimConfig::default();
+        let c = consts();
         let mut h = host();
         // 10-MSS initial window, flow larger than that: after 10 segments
         // the flow must drop out of the ready queue.
-        let mut flows = vec![started_flow(0, 10_000_000, &cfg)];
+        let mut flows = vec![started_flow(0, 10_000_000, &c)];
         h.mark_ready(&mut flows, 0);
         let mut sent = 0;
-        while h.next_packet(&mut flows, 0, &cfg).is_some() {
+        while h.next_packet(&mut flows, 0, &c).is_some() {
             sent += 1;
             assert!(sent < 100, "window never closed");
         }
         assert_eq!(sent, 10);
-        assert!(!flows[0].in_host_queue);
+        assert!(!flows[0].in_host_queue());
         assert!(!h.has_backlog());
     }
 
     #[test]
     fn finished_flow_is_skipped() {
-        let cfg = SimConfig::default();
+        let c = consts();
         let mut h = host();
-        let mut flows = vec![started_flow(0, 10_000, &cfg)];
-        flows[0].in_host_queue = true;
+        let mut flows = vec![started_flow(0, 10_000, &c)];
+        flows[0].set_in_host_queue(true);
         h.ready.push_back(0);
-        flows[0].end_ps = Some(1); // simulate completion
-        assert!(h.next_packet(&mut flows, 0, &cfg).is_none());
-        assert!(!flows[0].in_host_queue);
+        // Simulate completion: a finished flow must be skipped.
+        let mut cold = crate::transport::FlowCold::default();
+        let mut pkts = Vec::new();
+        while flows[0].can_send() {
+            pkts.push(flows[0].next_segment(0, &c));
+        }
+        for p in &pkts {
+            let ack = cold.on_data(p.seq, p.len as u64);
+            flows[0].on_ack(&mut cold, ack, false, p.ts, 1, &c);
+        }
+        assert!(flows[0].done());
+        assert!(h.next_packet(&mut flows, 0, &c).is_none());
+        assert!(!flows[0].in_host_queue());
     }
 }

@@ -63,6 +63,7 @@ mod routing;
 mod scheduler;
 mod switch;
 pub mod time;
+mod timer;
 pub mod topology;
 mod transport;
 mod world;
@@ -77,5 +78,5 @@ pub use routing::{ecmp_hash, RoutingTable};
 pub use scheduler::Scheduler;
 pub use switch::{BufferPartition, Link, Switch, SwitchPort};
 pub use time::{ps_to_ms, ps_to_ns, tx_time_ps, Ps, MS, NS, SEC, US};
-pub use transport::{CcAlgo, FlowState};
+pub use transport::{CcAlgo, FlowCold, FlowHot, FlowState, FlowTable, TransportConsts};
 pub use world::{CbrDesc, FlowDesc, World};

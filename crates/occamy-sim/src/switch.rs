@@ -133,7 +133,7 @@ mod tests {
         let ports = (0..n_ports)
             .map(|_| SwitchPort {
                 link: Link {
-                    to: NodeId::Host(0),
+                    to: NodeId::host(0),
                     rate_bps: 10_000_000_000,
                     prop_ps: 1_000,
                 },

@@ -110,7 +110,7 @@ pub fn single_switch(c: SingleSwitchCfg) -> World {
     let ports: Vec<SwitchPort> = (0..n)
         .map(|p| SwitchPort {
             link: Link {
-                to: NodeId::Host(p),
+                to: NodeId::host(p),
                 rate_bps: c.host_rates_bps[p],
                 prop_ps: c.prop_ps,
             },
@@ -227,7 +227,7 @@ pub fn leaf_spine(c: LeafSpineCfg) -> World {
         for local in 0..hpl {
             ports.push(SwitchPort {
                 link: Link {
-                    to: NodeId::Host(leaf * hpl + local),
+                    to: NodeId::host(leaf * hpl + local),
                     rate_bps: c.host_rate_bps,
                     prop_ps: c.link_prop_ps,
                 },
@@ -240,7 +240,7 @@ pub fn leaf_spine(c: LeafSpineCfg) -> World {
         for spine in 0..c.spines {
             ports.push(SwitchPort {
                 link: Link {
-                    to: NodeId::Switch(c.leaves + spine),
+                    to: NodeId::switch(c.leaves + spine),
                     rate_bps: c.fabric_rate_bps,
                     prop_ps: c.link_prop_ps,
                 },
@@ -273,7 +273,7 @@ pub fn leaf_spine(c: LeafSpineCfg) -> World {
         for leaf in 0..c.leaves {
             ports.push(SwitchPort {
                 link: Link {
-                    to: NodeId::Switch(leaf),
+                    to: NodeId::switch(leaf),
                     rate_bps: c.fabric_rate_bps,
                     prop_ps: c.link_prop_ps,
                 },
@@ -371,7 +371,7 @@ pub fn fat_tree(c: FatTreeCfg) -> World {
         let mut rates = Vec::with_capacity(c.k);
         for local in 0..half {
             ports.push(port(
-                NodeId::Host(edge * half + local),
+                NodeId::host(edge * half + local),
                 c.host_rate_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -381,7 +381,7 @@ pub fn fat_tree(c: FatTreeCfg) -> World {
         }
         for a in 0..half {
             ports.push(port(
-                NodeId::Switch(n_edges + pod * half + a),
+                NodeId::switch(n_edges + pod * half + a),
                 c.fabric_rate_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -412,7 +412,7 @@ pub fn fat_tree(c: FatTreeCfg) -> World {
         let mut rates = Vec::with_capacity(c.k);
         for e in 0..half {
             ports.push(port(
-                NodeId::Switch(pod * half + e),
+                NodeId::switch(pod * half + e),
                 c.fabric_rate_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -422,7 +422,7 @@ pub fn fat_tree(c: FatTreeCfg) -> World {
         }
         for i in 0..half {
             ports.push(port(
-                NodeId::Switch(n_edges + n_aggs + group * half + i),
+                NodeId::switch(n_edges + n_aggs + group * half + i),
                 c.fabric_rate_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -452,7 +452,7 @@ pub fn fat_tree(c: FatTreeCfg) -> World {
         let mut rates = Vec::with_capacity(c.k);
         for pod in 0..c.k {
             ports.push(port(
-                NodeId::Switch(n_edges + pod * half + group),
+                NodeId::switch(n_edges + pod * half + group),
                 c.fabric_rate_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -583,7 +583,7 @@ pub fn three_tier(c: ThreeTierCfg) -> World {
         let mut rates = Vec::new();
         for local in 0..hpa {
             ports.push(port(
-                NodeId::Host(acc * hpa + local),
+                NodeId::host(acc * hpa + local),
                 c.host_rate_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -593,7 +593,7 @@ pub fn three_tier(c: ThreeTierCfg) -> World {
         }
         for a in 0..c.aggs_per_pod {
             ports.push(port(
-                NodeId::Switch(n_access + pod * c.aggs_per_pod + a),
+                NodeId::switch(n_access + pod * c.aggs_per_pod + a),
                 uplink_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -623,7 +623,7 @@ pub fn three_tier(c: ThreeTierCfg) -> World {
         let mut rates = Vec::new();
         for a in 0..c.access_per_pod {
             ports.push(port(
-                NodeId::Switch(pod * c.access_per_pod + a),
+                NodeId::switch(pod * c.access_per_pod + a),
                 uplink_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -633,7 +633,7 @@ pub fn three_tier(c: ThreeTierCfg) -> World {
         }
         for core in 0..c.cores {
             ports.push(port(
-                NodeId::Switch(n_access + n_aggs + core),
+                NodeId::switch(n_access + n_aggs + core),
                 c.core_rate_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -664,7 +664,7 @@ pub fn three_tier(c: ThreeTierCfg) -> World {
         let mut rates = Vec::new();
         for agg in 0..n_aggs {
             ports.push(port(
-                NodeId::Switch(n_access + agg),
+                NodeId::switch(n_access + agg),
                 c.core_rate_bps,
                 c.link_prop_ps,
                 c.classes,
@@ -926,8 +926,8 @@ mod tests {
         // Host 0 hangs off edge 0; edge 0's up-links go to aggs 8 and 9.
         assert_eq!(w.hosts[0].link.to_switch, 0);
         let edge0 = &w.switches[0];
-        assert_eq!(edge0.ports[2].link.to, NodeId::Switch(8));
-        assert_eq!(edge0.ports[3].link.to, NodeId::Switch(9));
+        assert_eq!(edge0.ports[2].link.to, NodeId::switch(8));
+        assert_eq!(edge0.ports[3].link.to, NodeId::switch(9));
         // Local host: single down port; remote: ECMP across both aggs.
         assert_eq!(edge0.routing.candidates(1), &[1]);
         assert_eq!(edge0.routing.candidates(15), &[2, 3]);
@@ -938,7 +938,7 @@ mod tests {
         assert_eq!(agg8.routing.candidates(4), &[2, 3]);
         // Core 16 (group 0) reaches pod 3 through that pod's group-0 agg.
         let core16 = &w.switches[16];
-        assert_eq!(core16.ports[3].link.to, NodeId::Switch(8 + 3 * 2));
+        assert_eq!(core16.ports[3].link.to, NodeId::switch(8 + 3 * 2));
         assert_eq!(core16.routing.candidates(12), &[3]);
     }
 

@@ -7,7 +7,7 @@ use crate::metrics::{CbrCounters, Metrics};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::switch::Switch;
 use crate::time::{ps_to_ns, tx_time_ps, Ps, NS};
-use crate::transport::{CcAlgo, FlowState};
+use crate::transport::{CcAlgo, FlowState, FlowTable, TransportConsts};
 use crate::SimConfig;
 use occamy_core::{BufferManager, DropReason, Verdict};
 use occamy_stats::{FlowClass, FlowRecord, FlowSet};
@@ -71,12 +71,16 @@ pub struct World {
     events: EventQueue,
     /// Global configuration.
     pub cfg: SimConfig,
+    /// Cached `SimConfig`-derived transport constants (valid because
+    /// `cfg` is never mutated after construction).
+    pub consts: TransportConsts,
     /// Hosts, indexed by host id.
     pub hosts: Vec<Host>,
     /// Switches, indexed by switch id.
     pub switches: Vec<Switch>,
-    /// All transport flows ever added.
-    pub flows: Vec<FlowState>,
+    /// All transport flows ever added, split hot/cold (see
+    /// [`crate::transport`]).
+    pub flows: FlowTable,
     /// All CBR sources ever added.
     pub cbrs: Vec<CbrSource>,
     /// Registered queue samplers.
@@ -100,10 +104,11 @@ impl World {
         World {
             now: 0,
             events: EventQueue::new(),
+            consts: TransportConsts::new(&cfg),
             cfg,
             hosts,
             switches,
-            flows: Vec::new(),
+            flows: FlowTable::default(),
             cbrs: Vec::new(),
             samplers: Vec::new(),
             metrics: Metrics::default(),
@@ -125,10 +130,10 @@ impl World {
             d.prio,
             d.start_ps,
             d.cc,
-            &self.cfg,
+            &self.consts,
         );
-        f.query = d.query;
-        f.is_query = d.is_query;
+        f.cold.query = d.query;
+        f.cold.is_query = d.is_query;
         self.flows.push(f);
         // Workloads inject thousands of flow starts before the loop
         // spins up: keep them off the runtime heap.
@@ -195,8 +200,8 @@ impl World {
             Event::Arrive { node, pkt } => {
                 let pkt = self.events.take_packet(pkt);
                 match node {
-                    NodeId::Host(h) => self.host_rx(h, pkt),
-                    NodeId::Switch(s) => self.switch_rx(s, pkt),
+                    NodeId::Host(h) => self.host_rx(h as usize, pkt),
+                    NodeId::Switch(s) => self.switch_rx(s as usize, pkt),
                 }
             }
             Event::PortFree { switch, port } => {
@@ -217,9 +222,9 @@ impl World {
             Event::Rto { flow } => self.rto_fire(flow),
             Event::FlowStart { flow } => {
                 let f = flow as usize;
-                self.flows[f].started = true;
-                let h = self.flows[f].src as usize;
-                self.hosts[h].mark_ready(&mut self.flows, flow);
+                self.flows.hot[f].set_started(true);
+                let h = self.flows.hot[f].src as usize;
+                self.hosts[h].mark_ready(&mut self.flows.hot, flow);
                 self.host_pump(h);
             }
             Event::CbrEmit { source } => self.cbr_emit(source as usize),
@@ -244,24 +249,24 @@ impl World {
 
     /// Whether all transport flows completed.
     pub fn all_flows_done(&self) -> bool {
-        self.flows.iter().all(|f| f.done())
+        self.flows.hot.iter().all(|f| f.done())
     }
 
     /// Exports flow completion records for analysis.
     pub fn flow_records(&self) -> FlowSet {
         let mut set = FlowSet::new();
-        for f in &self.flows {
+        for (hot, cold) in self.flows.hot.iter().zip(&self.flows.cold) {
             set.push(FlowRecord {
-                id: f.id as u64,
-                bytes: f.bytes,
-                start_ps: f.start_ps,
-                end_ps: f.end_ps,
-                class: if f.is_query {
+                id: hot.id as u64,
+                bytes: hot.bytes,
+                start_ps: cold.start_ps,
+                end_ps: cold.end_ps,
+                class: if cold.is_query {
                     FlowClass::Query
                 } else {
                     FlowClass::Background
                 },
-                query: f.query,
+                query: cold.query,
             });
         }
         set
@@ -274,13 +279,14 @@ impl World {
     fn host_rx(&mut self, h: usize, pkt: Packet) {
         match pkt.kind {
             PacketKind::Ack => {
-                let f = pkt.flow as usize;
+                let f = pkt.flow;
+                let (hot, cold) = self.flows.pair_mut(f);
                 let completed =
-                    self.flows[f].on_ack(pkt.ack_seq, pkt.ece, pkt.ts, self.now, &self.cfg);
+                    hot.on_ack(cold, pkt.ack_seq, pkt.ece, pkt.ts, self.now, &self.consts);
                 if !completed {
                     self.arm_rto(pkt.flow);
-                    if self.flows[f].can_send() {
-                        self.hosts[h].mark_ready(&mut self.flows, pkt.flow);
+                    if self.flows.hot[f as usize].can_send() {
+                        self.hosts[h].mark_ready(&mut self.flows.hot, pkt.flow);
                         self.host_pump(h);
                     }
                 }
@@ -289,8 +295,8 @@ impl World {
                 self.metrics.delivered_pkts += 1;
                 self.metrics.delivered_bytes += pkt.len as u64;
                 let f = pkt.flow as usize;
-                let ack_seq = self.flows[f].on_data(pkt.seq, pkt.len as u64);
-                let sender = self.flows[f].src;
+                let ack_seq = self.flows.cold[f].on_data(pkt.seq, pkt.len as u64);
+                let sender = self.flows.hot[f].src;
                 let ack = Packet::ack(
                     pkt.flow, h as u32, sender, ack_seq, pkt.ce, pkt.prio, pkt.ts,
                 );
@@ -312,7 +318,7 @@ impl World {
             return;
         }
         let now = self.now;
-        let Some(pkt) = self.hosts[h].next_packet(&mut self.flows, now, &self.cfg) else {
+        let Some(pkt) = self.hosts[h].next_packet(&mut self.flows.hot, now, &self.consts) else {
             return;
         };
         if pkt.kind == PacketKind::Data {
@@ -331,43 +337,44 @@ impl World {
             .push(now + ser, Event::HostTxFree { host: h as u32 });
         self.events.push_arrival(
             now + ser + link.prop_ps,
-            NodeId::Switch(link.to_switch),
+            NodeId::switch(link.to_switch),
             pkt,
         );
     }
 
     fn arm_rto(&mut self, flow: FlowId) {
-        let f = &mut self.flows[flow as usize];
+        let f = &mut self.flows.hot[flow as usize];
         if !f.outstanding() {
             return;
         }
-        let deadline = self.now + f.timer_delay(&self.cfg);
+        let deadline = self.now + f.timer_delay(&self.consts);
         f.rto_deadline = deadline;
-        if !f.timer_armed {
-            f.timer_armed = true;
-            self.events.push(deadline, Event::Rto { flow });
+        if !f.timer_armed() {
+            f.set_timer_armed(true);
+            // Timers live on the wheel, not the packet heap.
+            self.events.push_timer(deadline, Event::Rto { flow });
         }
     }
 
     fn rto_fire(&mut self, flow: FlowId) {
-        let f = &mut self.flows[flow as usize];
-        f.timer_armed = false;
+        let (f, cold) = self.flows.pair_mut(flow);
+        f.set_timer_armed(false);
         if f.done() || !f.outstanding() {
             return;
         }
         if self.now < f.rto_deadline {
             // Deadline was pushed forward by ACK activity: resleep.
-            f.timer_armed = true;
+            f.set_timer_armed(true);
             let at = f.rto_deadline;
-            self.events.push(at, Event::Rto { flow });
+            self.events.push_timer(at, Event::Rto { flow });
             return;
         }
         // Tail-loss probe first (no congestion-state change), full RTO
         // once the probe budget is exhausted.
-        f.on_timer(&self.cfg);
+        f.on_timer(cold, &self.consts);
         self.arm_rto(flow);
-        let h = self.flows[flow as usize].src as usize;
-        self.hosts[h].mark_ready(&mut self.flows, flow);
+        let h = self.flows.hot[flow as usize].src as usize;
+        self.hosts[h].mark_ready(&mut self.flows.hot, flow);
         self.host_pump(h);
     }
 

@@ -45,7 +45,7 @@ fn single_flow_achieves_near_line_rate() {
     w.add_flow(flow(0, 1, bytes, 0));
     w.run_to_completion(SEC);
     assert!(w.all_flows_done(), "flow did not finish");
-    let fct = w.flows[0].end_ps.unwrap();
+    let fct = w.flows.cold[0].end_ps.unwrap();
     // Ideal: payload + per-MSS header overhead at 10 Gbps, plus ~2 RTT of
     // ramp-up. Require ≥ 85% of line rate.
     let ideal = tx_time_ps(bytes + (bytes / 1460 + 1) * 40, G10);
@@ -84,8 +84,8 @@ fn two_flows_share_the_bottleneck_fairly() {
     w.add_flow(flow(0, 2, 8_000_000, 0));
     w.add_flow(flow(1, 2, 8_000_000, 0));
     w.run_to_completion(SEC);
-    let f0 = w.flows[0].end_ps.unwrap() as f64;
-    let f1 = w.flows[1].end_ps.unwrap() as f64;
+    let f0 = w.flows.cold[0].end_ps.unwrap() as f64;
+    let f1 = w.flows.cold[1].end_ps.unwrap() as f64;
     let ratio = f0.max(f1) / f0.min(f1);
     assert!(ratio < 1.3, "unfair completion times: {f0} vs {f1}");
     // Equal flows sharing 10 G: each sees ~5 G, so the FCT should be
@@ -132,7 +132,7 @@ fn conservation_of_packets() {
         }
     }
     // Every byte of every flow was delivered at least once.
-    let payload: u64 = w.flows.iter().map(|f| f.bytes).sum();
+    let payload: u64 = w.flows.hot.iter().map(|f| f.bytes).sum();
     assert!(w.metrics.delivered_bytes >= payload);
 }
 
@@ -145,7 +145,7 @@ fn runs_are_deterministic() {
         }
         w.run_to_completion(10 * SEC);
         (
-            w.flows.iter().map(|f| f.end_ps).collect::<Vec<_>>(),
+            w.flows.cold.iter().map(|f| f.end_ps).collect::<Vec<_>>(),
             w.metrics.drops.total_losses(),
             w.metrics.delivered_pkts,
         )
@@ -267,7 +267,7 @@ fn strict_priority_protects_high_class() {
     w.add_flow(hp);
     w.run_to_completion(SEC);
     assert!(w.all_flows_done());
-    let hp_fct = w.flows[1].end_ps.unwrap() - w.flows[1].start_ps;
+    let hp_fct = w.flows.cold[1].end_ps.unwrap() - w.flows.cold[1].start_ps;
     // The HP flow gets nearly the full 10 G despite the LP backlog:
     // 500 KB ≈ 412 µs at line rate; allow ~3×.
     assert!(

@@ -131,7 +131,7 @@ fn expulsion_does_not_hurt_throughput() {
     });
     w.run_to_completion(SEC);
     assert!(w.all_flows_done());
-    let fct = w.flows[0].end_ps.unwrap();
+    let fct = w.flows.cold[0].end_ps.unwrap();
     // Sharing 10 G with a 2 G aggressor leaves 8 G: 12.5 MB ≈ 12.9 ms.
     // Anything far beyond ~16 ms would mean expulsion stole capacity.
     assert!(

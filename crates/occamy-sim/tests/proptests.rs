@@ -1,6 +1,8 @@
 //! Property-based tests for the simulator's deterministic components.
 
-use occamy_sim::{CcAlgo, Event, EventQueue, FlowState, Packet, Scheduler, SimConfig};
+use occamy_sim::{
+    CcAlgo, Event, EventQueue, FlowState, Packet, Scheduler, SimConfig, TransportConsts,
+};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -38,8 +40,8 @@ proptest! {
     fn reassembly_matches_reference(
         segs in prop::collection::vec((0u64..50u64, 1u64..10), 1..60)
     ) {
-        let cfg = SimConfig::default();
-        let mut f = FlowState::new(0, 0, 1, 100, 0, 0, CcAlgo::Dctcp, &cfg);
+        let c = TransportConsts::new(&SimConfig::default());
+        let mut f = FlowState::new(0, 0, 1, 100, 0, 0, CcAlgo::Dctcp, &c);
         let mut have = [false; 600];
         for (seq, len) in segs {
             let ack = f.on_data(seq, len);
@@ -104,24 +106,25 @@ proptest! {
     #[test]
     fn inflight_bounded_by_cwnd(bytes in 10_000u64..500_000) {
         let cfg = SimConfig::default();
-        let mut f = FlowState::new(0, 0, 1, bytes, 0, 0, CcAlgo::Dctcp, &cfg);
-        f.started = true;
+        let c = TransportConsts::new(&cfg);
+        let mut f = FlowState::new(0, 0, 1, bytes, 0, 0, CcAlgo::Dctcp, &c);
+        f.hot.set_started(true);
         let mut now = 0u64;
         for _ in 0..10_000 {
             let mut sent = Vec::new();
             while f.can_send() {
-                let p = f.next_segment(now, &cfg);
+                let p = f.next_segment(now, &c);
                 sent.push(p);
                 prop_assert!(
-                    f.inflight() as f64 <= f.cwnd() + cfg.mss as f64,
-                    "inflight {} exceeds cwnd {}", f.inflight(), f.cwnd()
+                    f.hot.inflight() as f64 <= f.hot.cwnd() + cfg.mss as f64,
+                    "inflight {} exceeds cwnd {}", f.hot.inflight(), f.hot.cwnd()
                 );
             }
             now += 100_000_000; // 100 µs RTT
             let mut done = false;
             for p in sent {
                 let ack = f.on_data(p.seq, p.len as u64);
-                done = f.on_ack(ack, false, p.ts, now, &cfg);
+                done = f.on_ack(ack, false, p.ts, now, &c);
             }
             if done {
                 return Ok(());

@@ -42,8 +42,8 @@ fn check_fabric_invariants(w: &World) {
                 sw.id, p
             );
             match sw.ports[p].link.to {
-                NodeId::Host(h) => assert!(h < n_hosts, "dangling host link"),
-                NodeId::Switch(s) => assert!(s < n_switches, "dangling switch link"),
+                NodeId::Host(h) => assert!((h as usize) < n_hosts, "dangling host link"),
+                NodeId::Switch(s) => assert!((s as usize) < n_switches, "dangling switch link"),
             }
             assert!(sw.ports[p].link.rate_bps > 0, "zero-rate link");
         }
@@ -75,10 +75,10 @@ fn check_fabric_invariants(w: &World) {
                     let port = sw.routing.port_for(dst, flow as u32);
                     match sw.ports[port].link.to {
                         NodeId::Host(h) => {
-                            assert_eq!(h, dst, "delivered to the wrong host");
+                            assert_eq!(h as usize, dst, "delivered to the wrong host");
                             break;
                         }
-                        NodeId::Switch(s) => at = s,
+                        NodeId::Switch(s) => at = s as usize,
                     }
                 }
             }

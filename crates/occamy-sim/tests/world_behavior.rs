@@ -225,8 +225,8 @@ fn ack_prioritization_keeps_reverse_path_alive() {
     w.run_to_completion(5 * SEC);
     assert!(w.all_flows_done());
     // Both directions at ~line rate: each flow ≈ 4.2 ms solo; allow 3×.
-    for f in &w.flows {
-        let fct = f.end_ps.unwrap();
-        assert!(fct < 13 * MS, "flow {} took {} ms", f.id, fct / MS);
+    for (hot, cold) in w.flows.hot.iter().zip(&w.flows.cold) {
+        let fct = cold.end_ps.unwrap();
+        assert!(fct < 13 * MS, "flow {} took {} ms", hot.id, fct / MS);
     }
 }

@@ -81,12 +81,12 @@ fn main() {
         });
     }
     world.run_to_completion(SEC);
-    for f in &world.flows {
+    for (hot, cold) in world.flows.hot.iter().zip(&world.flows.cold) {
         println!(
             "flow {}: {} bytes in {:.2} ms",
-            f.id,
-            f.bytes,
-            f.end_ps.expect("finished") as f64 / 1e9,
+            hot.id,
+            hot.bytes,
+            cold.end_ps.expect("finished") as f64 / 1e9,
         );
     }
     println!(
