@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use occamy_sim::{
-    CcAlgo, Event, EventQueue, FlowCold, FlowState, SimConfig, TransportConsts, MS, US,
+    CcAlgo, Event, EventQueue, FlowRx, FlowState, SimConfig, TransportConsts, MS, US,
 };
 use std::hint::black_box;
 
@@ -46,24 +46,24 @@ fn bench_on_ack(c: &mut Criterion) {
 /// then the hole fills and the whole list is absorbed — the pattern
 /// that was quadratic with a `Vec` interval list.
 fn reorder_merge(n: u64) -> u64 {
-    let mut cold = FlowCold::default();
+    let mut rx = FlowRx::default();
     for seq in (1..n).rev() {
-        black_box(cold.on_data(seq * 1_000, 1_000));
+        black_box(rx.on_data(seq * 1_000, 1_000));
     }
-    cold.on_data(0, 1_000)
+    rx.on_data(0, 1_000)
 }
 
 /// Interleaved arrival: odd segments stitch the even-segment intervals
 /// pairwise (maximal interval count, then n/2 merges).
 fn interleave_merge(n: u64) -> u64 {
-    let mut cold = FlowCold::default();
+    let mut rx = FlowRx::default();
     for seq in (2..n).step_by(2) {
-        black_box(cold.on_data(seq * 1_000, 1_000));
+        black_box(rx.on_data(seq * 1_000, 1_000));
     }
     for seq in (3..n).step_by(2) {
-        black_box(cold.on_data(seq * 1_000, 1_000));
+        black_box(rx.on_data(seq * 1_000, 1_000));
     }
-    cold.on_data(1_000, 1_000)
+    rx.on_data(1_000, 1_000)
 }
 
 fn bench_on_data(c: &mut Criterion) {

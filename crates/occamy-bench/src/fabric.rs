@@ -263,6 +263,7 @@ impl FabricScenario {
             return ls.run_world();
         }
         let mut world = self.build();
+        crate::apply_sim_threads(&mut world);
         inject_fabric_workload(
             &mut world,
             self.n_hosts(),

@@ -86,8 +86,8 @@ impl Scenario for PerfTransport {
     }
 
     fn run(&self, cell: &CellSpec) -> CellResult {
-        let result: RunResult = scenario_for(cell).run();
-        result.into_cell()
+        let (world, result): (_, RunResult) = scenario_for(cell).run_world();
+        crate::report::with_par_metrics(result.into_cell(), &world)
     }
 
     fn emit(&self, outcomes: &[CellOutcome]) -> Report {

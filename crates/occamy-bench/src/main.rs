@@ -52,7 +52,11 @@ options:
   --quick              reduced sweeps and durations (also: OCCAMY_QUICK=1)
   --smoke              near-trivial grids (seconds; used by the smoke test)
   --serial             execute cells on one thread (baseline / profiling)
-  --threads N          worker thread count (default: all cores)
+  --threads N          worker thread count (default: all cores). Also
+                       enables intra-run parallelism: each cell's world
+                       runs domain-decomposed on up to N threads with
+                       bit-identical results (`--serial --threads 8`
+                       = sequential cells, 8-way parallel simulation)
   --shards N           shard count for `shard plan`
   --out-dir DIR        output directory (`shard plan`: default shards/;
                        `shard merge`: default .)
@@ -112,8 +116,12 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse::<usize>().ok())
                     .filter(|&n| n > 0)
                     .ok_or("--threads needs a positive integer")?;
-                // The worker pool sizes itself from this variable.
+                // The cell worker pool sizes itself from this variable…
                 std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+                // …and each cell's world runs its own domain-decomposed
+                // simulation on up to this many threads (bit-identical
+                // results; see `occamy_bench::sim_threads`).
+                std::env::set_var("OCCAMY_SIM_THREADS", n.to_string());
             }
             "-h" | "--help" => {
                 command = Some("help".to_string());

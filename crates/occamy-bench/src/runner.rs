@@ -77,6 +77,27 @@ impl ScenarioRun {
             ("batch_wall_ms", Json::from(batch_wall.as_millis() as u64)),
             ("events_total", Json::from(self.events_total())),
             ("events_per_sec", Json::from(self.events_per_sec())),
+            // Parallelism trajectory: requested intra-run threads and
+            // the grid-level speedup (serial cell time over batch
+            // wall). Both are perf fields — frozen to zero under
+            // OCCAMY_FREEZE_PERF so artifacts stay byte-identical
+            // across thread counts.
+            (
+                "sim_threads",
+                Json::from(if crate::freeze_perf() {
+                    0
+                } else {
+                    crate::sim_threads() as u64
+                }),
+            ),
+            (
+                "speedup",
+                Json::from(if batch_wall.as_secs_f64() > 0.0 {
+                    self.serial_cell_time().as_secs_f64() / batch_wall.as_secs_f64()
+                } else {
+                    0.0
+                }),
+            ),
             (
                 "results",
                 Json::arr(self.outcomes.iter().map(|o| {
@@ -280,18 +301,30 @@ fn cell_perf(o: &CellOutcome) -> (f64, Option<f64>) {
 fn perf_table(run: &ScenarioRun) -> Table {
     let mut t = Table::new(
         &format!("{} cell performance", run.scenario.name()),
-        &["cell", "params", "wall_ms", "events", "events_per_sec"],
+        &[
+            "cell",
+            "params",
+            "wall_ms",
+            "events",
+            "events_per_sec",
+            "threads",
+            "domains",
+        ],
     );
+    // The parallelism columns come from `report::with_par_metrics`;
+    // serial cells (and frozen-perf runs) have no such metrics and
+    // print `-`, keeping frozen CSVs identical across thread counts.
+    let int = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.0}"));
     for o in &run.outcomes {
         let (wall_ms, eps) = cell_perf(o);
         t.row(vec![
             o.spec.index.to_string(),
             o.spec.label(),
             format!("{wall_ms:.3}"),
-            o.result
-                .get("events")
-                .map_or_else(|| "-".to_string(), |e| format!("{e:.0}")),
-            eps.map_or_else(|| "-".to_string(), |e| format!("{e:.0}")),
+            int(o.result.get("events")),
+            int(eps),
+            int(o.result.get("sim_threads")),
+            int(o.result.get("par_domains")),
         ]);
     }
     t

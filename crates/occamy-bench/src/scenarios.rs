@@ -217,6 +217,7 @@ impl TestbedScenario {
     /// metric access.
     pub fn run_world(&self) -> (World, RunResult) {
         let mut world = self.build();
+        crate::apply_sim_threads(&mut world);
         self.inject(&mut world);
         world.run_to_completion(self.duration_ps + self.drain_ps);
         let flows = world.flow_records();
@@ -368,6 +369,7 @@ impl LeafSpineScenario {
     /// Like [`LeafSpineScenario::run`] but also returns the world.
     pub fn run_world(&self) -> (World, RunResult) {
         let mut world = self.build();
+        crate::apply_sim_threads(&mut world);
         self.inject(&mut world);
         world.run_to_completion(self.duration_ps + self.drain_ps);
         let flows = world.flow_records();

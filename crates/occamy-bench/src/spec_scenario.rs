@@ -181,6 +181,7 @@ impl SpecScenario {
                 min_rto: s.min_rto_ms * MS,
                 mss: s.mss as u32,
                 expel_rate_factor: s.expel_rate_factor,
+                threads: (s.threads as usize).max(1),
                 ..SimConfig::default()
             },
         }
@@ -289,7 +290,8 @@ impl Scenario for SpecScenario {
         }
         sc.seed = cell.seed;
         scale_fabric(&mut sc, cell.scale);
-        sc.run().into_cell()
+        let (world, result) = sc.run_world();
+        crate::report::with_par_metrics(result.into_cell(), &world)
     }
 
     fn emit(&self, outcomes: &[CellOutcome]) -> Report {

@@ -44,11 +44,25 @@ const CONGESTED_FLOOR_BYTES: u64 = 15_000;
 ///   drain.
 /// - A queue is *congested* when its backlog exceeds a 15 KB floor;
 ///   `n_p ≥ 1`.
+/// - `n_p` is maintained *incrementally*: the enqueue/dequeue hooks
+///   watch each queue's floor crossings and keep a per-class congested
+///   count, so [`BufferManager::threshold`] — called on every admit —
+///   is O(1) instead of a scan over all queues of the partition (which
+///   made ABM admission quadratic in port count on the big fabrics).
+///   The cache is exact, not approximate: debug builds cross-check it
+///   against the full scan on every threshold call, and a proptest
+///   drives random workloads through both.
 #[derive(Debug, Clone)]
 pub struct Abm {
     cfg: QueueConfig,
     drain: Vec<RateEstimator>,
     now_ns: u64,
+    /// `congested[p]` = queues of priority class `p` with backlog above
+    /// [`CONGESTED_FLOOR_BYTES`]. Updated on the floor crossings the
+    /// hooks observe; every [`BufferState`] mutation is paired with its
+    /// hook call (the simulator guarantees this), so the count never
+    /// drifts from the scan.
+    congested: Vec<u32>,
 }
 
 impl Abm {
@@ -65,7 +79,9 @@ impl Abm {
             .iter()
             .map(|&r| RateEstimator::new(tau_ns, r as f64))
             .collect();
+        let classes = cfg.priority.iter().map(|&p| p as usize + 1).max();
         Abm {
+            congested: vec![0; classes.unwrap_or(1)],
             cfg,
             drain,
             now_ns: 0,
@@ -73,13 +89,28 @@ impl Abm {
     }
 
     /// Number of congested queues in priority class `p` (backlog above
-    /// [`CONGESTED_FLOOR_BYTES`]).
-    fn congested_in_class(&self, p: u8, state: &BufferState) -> usize {
+    /// [`CONGESTED_FLOOR_BYTES`]) by full scan — the reference the
+    /// incremental cache is checked against (debug assert + proptest).
+    fn congested_in_class_scan(&self, p: u8, state: &BufferState) -> usize {
         state
             .iter()
             .filter(|&(q, len)| len > CONGESTED_FLOOR_BYTES && self.cfg.priority[q] == p)
             .count()
-            .max(1)
+    }
+
+    /// Applies one queue's backlog change to the congested-count cache,
+    /// given the backlog before and after the mutation.
+    fn track_crossing(&mut self, q: QueueId, prev_len: u64, new_len: u64) {
+        let was = prev_len > CONGESTED_FLOOR_BYTES;
+        let is = new_len > CONGESTED_FLOOR_BYTES;
+        if was != is {
+            let p = self.cfg.priority[q] as usize;
+            if is {
+                self.congested[p] += 1;
+            } else {
+                self.congested[p] -= 1;
+            }
+        }
     }
 
     /// Normalized dequeue rate `μ_q ∈ [MU_FLOOR, 1]`.
@@ -96,7 +127,13 @@ impl Abm {
 
 impl BufferManager for Abm {
     fn threshold(&self, q: QueueId, state: &BufferState) -> u64 {
-        let n_p = self.congested_in_class(self.cfg.priority[q], state) as f64;
+        let p = self.cfg.priority[q];
+        debug_assert_eq!(
+            self.congested[p as usize] as usize,
+            self.congested_in_class_scan(p, state),
+            "congested-count cache drifted from the scan for class {p}"
+        );
+        let n_p = (self.congested[p as usize] as usize).max(1) as f64;
         let t = self.cfg.alpha[q] * state.free() as f64 / n_p * self.mu(q, state);
         t.min(state.capacity() as f64) as u64
     }
@@ -113,15 +150,20 @@ impl BufferManager for Abm {
 
     fn on_enqueue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
         self.now_ns = now_ns;
+        // `state` already reflects the enqueue.
+        let new_len = state.queue_len(q);
+        self.track_crossing(q, new_len - len, new_len);
         // Idle → active transition: seed the drain estimate at port rate.
-        if state.queue_len(q) == len {
+        if new_len == len {
             let port = self.cfg.port_rate_bps[q] as f64;
             self.drain[q].reset(port, now_ns);
         }
     }
 
-    fn on_dequeue(&mut self, q: QueueId, len: u64, now_ns: u64, _state: &BufferState) {
+    fn on_dequeue(&mut self, q: QueueId, len: u64, now_ns: u64, state: &BufferState) {
         self.now_ns = now_ns;
+        let new_len = state.queue_len(q);
+        self.track_crossing(q, new_len + len, new_len);
         self.drain[q].record(len, now_ns);
     }
 
@@ -131,13 +173,15 @@ impl BufferManager for Abm {
         len: u64,
         count: u64,
         now_ns: u64,
-        _state: &BufferState,
+        state: &BufferState,
     ) {
         // Bit-exact with `count` single records (see
         // `RateEstimator::record_many`), but the repeated same-timestamp
         // sample is priced once instead of per packet.
         if count > 0 {
             self.now_ns = now_ns;
+            let new_len = state.queue_len(q);
+            self.track_crossing(q, new_len + len * count, new_len);
         }
         self.drain[q].record_many(len, count, now_ns);
     }
@@ -159,33 +203,37 @@ mod tests {
 
     /// The batched dequeue hook must be indistinguishable — to the bit —
     /// from the per-packet loop, including through the `AnyBm` dispatch
-    /// the simulator actually calls.
+    /// the simulator actually calls. Each instance drives its own
+    /// `BufferState` because hooks observe the post-mutation state (the
+    /// congested-count cache depends on it).
     #[test]
     fn batched_dequeue_matches_loop_bit_exactly() {
         use crate::{AnyBm, BmKind};
         let mk = || BmKind::Abm.build(QueueConfig::uniform(2, GBPS_10, 2.0));
         let (mut a, mut b): (AnyBm, AnyBm) = (mk(), mk());
-        let mut state = BufferState::new(1_000_000, 2);
-        for _ in 0..6 {
-            state.enqueue(0, 1_500).unwrap();
+        let mut sa = BufferState::new(1_000_000, 2);
+        let mut sb = BufferState::new(1_000_000, 2);
+        for (bm, state) in [(&mut a, &mut sa), (&mut b, &mut sb)] {
+            for _ in 0..12 {
+                state.enqueue(0, 1_500).unwrap();
+                bm.on_enqueue(0, 1_500, 100, state);
+            }
+            state.dequeue(0, 1_500).unwrap();
+            bm.on_dequeue(0, 1_500, 2_000, state);
         }
-        for bm in [&mut a, &mut b] {
-            bm.on_enqueue(0, 1_500, 100, &state);
-            bm.on_dequeue(0, 1_500, 2_000, &state);
-        }
-        // A port drains 5 equal packets within one nanosecond quantum.
-        a.on_dequeue_many(0, 1_500, 5, 3_000, &state);
+        // A port drains 5 equal packets within one nanosecond quantum
+        // (crossing the congested floor on the way down).
+        sa.dequeue(0, 5 * 1_500).unwrap();
+        a.on_dequeue_many(0, 1_500, 5, 3_000, &sa);
         for _ in 0..5 {
-            b.on_dequeue(0, 1_500, 3_000, &state);
+            sb.dequeue(0, 1_500).unwrap();
+            b.on_dequeue(0, 1_500, 3_000, &sb);
         }
-        for now in [3_000, 50_000, 1_000_000] {
-            assert_eq!(
-                a.threshold(0, &state),
-                b.threshold(0, &state),
-                "thresholds diverged"
-            );
-            let _ = now;
-        }
+        assert_eq!(
+            a.threshold(0, &sa),
+            b.threshold(0, &sb),
+            "thresholds diverged"
+        );
     }
 
     #[test]
@@ -198,11 +246,13 @@ mod tests {
 
     #[test]
     fn threshold_divides_among_congested_classmates() {
-        let bm = Abm::new(QueueConfig::uniform(4, GBPS_10, 1.0));
+        let mut bm = Abm::new(QueueConfig::uniform(4, GBPS_10, 1.0));
         let mut state = BufferState::new(400_000, 4);
         let t1 = bm.threshold(0, &state);
         state.enqueue(0, 50_000).unwrap();
+        bm.on_enqueue(0, 50_000, 0, &state);
         state.enqueue(1, 50_000).unwrap();
+        bm.on_enqueue(1, 50_000, 0, &state);
         let t2 = bm.threshold(0, &state);
         // Two congested queues in the class: threshold roughly halves
         // (modulo the free-buffer change).
@@ -230,10 +280,12 @@ mod tests {
         let cfg = QueueConfig::uniform(4, GBPS_10, 1.0)
             .with_priority(2, 1)
             .with_priority(3, 1);
-        let bm = Abm::new(cfg);
+        let mut bm = Abm::new(cfg);
         let mut state = BufferState::new(400_000, 4);
         state.enqueue(2, 50_000).unwrap();
+        bm.on_enqueue(2, 50_000, 0, &state);
         state.enqueue(3, 50_000).unwrap();
+        bm.on_enqueue(3, 50_000, 0, &state);
         // Class 0 has no congested queues, so queue 0 sees n_p = 1.
         let t0 = bm.threshold(0, &state);
         let t2 = bm.threshold(2, &state);
@@ -274,6 +326,7 @@ mod tests {
         bm.now_ns = 10_000_000;
         // Despite the decayed estimator, an empty queue gets μ = 1.
         state.enqueue(1, 50_000).unwrap();
+        bm.on_enqueue(1, 50_000, bm.now_ns, &state);
         let t = bm.threshold(0, &state);
         assert_eq!(t, 50_000, "empty queue must see the full DT threshold");
     }
@@ -296,9 +349,10 @@ mod tests {
 
     #[test]
     fn admit_rejects_over_threshold() {
-        let bm = Abm::new(QueueConfig::uniform(2, GBPS_10, 0.5));
+        let mut bm = Abm::new(QueueConfig::uniform(2, GBPS_10, 0.5));
         let mut state = BufferState::new(100_000, 2);
         state.enqueue(0, 30_000).unwrap();
+        bm.on_enqueue(0, 30_000, 0, &state);
         // free = 70 000, T = 35 000 for a congested queue at full μ.
         assert_eq!(
             bm.admit(0, 10_000, &state),
@@ -314,5 +368,62 @@ mod tests {
         state.enqueue(0, 900).unwrap();
         assert_eq!(bm.select_victim(&state), None);
         assert!(!bm.is_preemptive());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The incremental congested-count cache equals the full
+            /// scan after every hook-paired mutation of a random
+            /// enqueue/dequeue workload across two priority classes —
+            /// the invariant that makes the O(1) threshold exact.
+            #[test]
+            fn cached_congested_count_matches_scan(
+                ops in prop::collection::vec(
+                    (0usize..6, 1u64..40_000, prop::bool::ANY),
+                    1..200,
+                )
+            ) {
+                let cfg = QueueConfig::uniform(6, GBPS_10, 1.0)
+                    .with_priority(3, 1)
+                    .with_priority(4, 1)
+                    .with_priority(5, 1);
+                let mut bm = Abm::new(cfg);
+                let mut state = BufferState::new(300_000, 6);
+                let mut now = 0;
+                for (q, bytes, is_enq) in ops {
+                    now += 500;
+                    if is_enq {
+                        if state.enqueue(q, bytes).is_ok() {
+                            bm.on_enqueue(q, bytes, now, &state);
+                        }
+                    } else {
+                        let take = bytes.min(state.queue_len(q));
+                        if take > 0 {
+                            state.dequeue(q, take).unwrap();
+                            bm.on_dequeue(q, take, now, &state);
+                        }
+                    }
+                    for p in 0u8..2 {
+                        prop_assert_eq!(
+                            bm.congested[p as usize] as usize,
+                            bm.congested_in_class_scan(p, &state),
+                            "class {} count drifted", p
+                        );
+                    }
+                    // The threshold built on the cache equals the one
+                    // built on the scan (the pre-cache formula).
+                    let scratch = bm.cfg.alpha[q] * state.free() as f64
+                        / bm.congested_in_class_scan(bm.cfg.priority[q], &state).max(1) as f64
+                        * bm.mu(q, &state);
+                    prop_assert_eq!(
+                        bm.threshold(q, &state),
+                        scratch.min(state.capacity() as f64) as u64
+                    );
+                }
+            }
+        }
     }
 }

@@ -24,6 +24,12 @@ pub struct SimConfig {
     /// partition's full forwarding capacity, as in the paper's §5.3
     /// prototype; 0.0 disables expulsion entirely — the §4.5 ablation).
     pub expel_rate_factor: f64,
+    /// Worker threads for intra-run domain-decomposed execution
+    /// (see `crate::par`). `1` (the default) runs the serial loop;
+    /// `N > 1` engages the deterministic parallel executor when the
+    /// topology exports event domains. Results are bit-identical for
+    /// every thread count.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -40,6 +46,7 @@ impl Default for SimConfig {
             cell_bytes: 200,
             expel_bucket_cells: 256.0,
             expel_rate_factor: 1.0,
+            threads: 1,
         }
     }
 }

@@ -118,15 +118,18 @@ pub enum Event {
 }
 
 /// Slab of in-flight packets, recycled through a free list.
+///
+/// `pub(crate)` because the parallel executor gives every event domain
+/// its own pool (see `crate::par`).
 #[derive(Debug, Default)]
-struct PacketPool {
+pub(crate) struct PacketPool {
     slots: Vec<Packet>,
     free: Vec<PacketId>,
 }
 
 impl PacketPool {
     #[inline]
-    fn insert(&mut self, pkt: Packet) -> PacketId {
+    pub(crate) fn insert(&mut self, pkt: Packet) -> PacketId {
         match self.free.pop() {
             Some(id) => {
                 self.slots[id as usize] = pkt;
@@ -140,7 +143,7 @@ impl PacketPool {
     }
 
     #[inline]
-    fn take(&mut self, id: PacketId) -> Packet {
+    pub(crate) fn take(&mut self, id: PacketId) -> Packet {
         self.free.push(id);
         self.slots[id as usize]
     }
@@ -279,6 +282,52 @@ impl EventQueue {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.deferred.is_empty() && self.wheel.is_empty()
+    }
+
+    // ---------------------------------------------------------------
+    // Crate-internal seams for the parallel executor (`crate::par`).
+    //
+    // The domain split drains a serial queue *with its ordering keys*
+    // into per-domain wheels, and the merge-back reconstructs a queue
+    // whose keys and sequence counter are exactly what a serial run
+    // would hold — these accessors exist so that round trip is exact.
+    // ---------------------------------------------------------------
+
+    /// Pops the earliest event together with its `(time, seq)` key.
+    pub(crate) fn pop_keyed(&mut self) -> Option<(Key, Event)> {
+        self.settle_deferred();
+        let w = self.wheel.peek();
+        let from_deferred = match (self.deferred.last(), w) {
+            (Some(d), Some(wk)) => d.0 < wk,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if from_deferred {
+            self.deferred.pop()
+        } else {
+            self.wheel.pop()
+        }
+    }
+
+    /// Schedules `event` under an explicit, already-assigned key.
+    pub(crate) fn arm_keyed(&mut self, key: Key, event: Event) {
+        self.wheel.arm(key, event);
+    }
+
+    /// The next sequence number the queue would assign.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Overrides the sequence counter (merge-back after a parallel run).
+    pub(crate) fn set_next_seq(&mut self, v: u64) {
+        self.next_seq = v;
+    }
+
+    /// Interns a packet without scheduling anything, returning its id.
+    pub(crate) fn intern(&mut self, pkt: Packet) -> PacketId {
+        self.pool.insert(pkt)
     }
 }
 

@@ -197,12 +197,13 @@ mod tests {
         h.ready.push_back(0);
         // Simulate completion: a finished flow must be skipped.
         let mut cold = crate::transport::FlowCold::default();
+        let mut rx = crate::transport::FlowRx::default();
         let mut pkts = Vec::new();
         while flows[0].can_send() {
             pkts.push(flows[0].next_segment(0, &c));
         }
         for p in &pkts {
-            let ack = cold.on_data(p.seq, p.len as u64);
+            let ack = rx.on_data(p.seq, p.len as u64);
             flows[0].on_ack(&mut cold, ack, false, p.ts, 1, &c);
         }
         assert!(flows[0].done());

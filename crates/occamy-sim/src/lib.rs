@@ -55,10 +55,12 @@
 
 mod cbr;
 mod config;
+mod engine;
 mod event;
 mod host;
 mod metrics;
 mod packet;
+mod par;
 mod routing;
 mod scheduler;
 mod switch;
@@ -74,9 +76,10 @@ pub use event::{Event, EventQueue, NodeId, PacketId};
 pub use host::{Host, HostLink};
 pub use metrics::{CbrCounters, DropCounters, Metrics, QueueSample, SampleLog};
 pub use packet::{FlowId, Packet, PacketKind, HDR_BYTES};
+pub use par::ParStats;
 pub use routing::{ecmp_hash, RoutingTable};
 pub use scheduler::Scheduler;
 pub use switch::{BufferPartition, Link, Switch, SwitchPort};
 pub use time::{ps_to_ms, ps_to_ns, tx_time_ps, Ps, MS, NS, SEC, US};
-pub use transport::{CcAlgo, FlowCold, FlowHot, FlowState, FlowTable, TransportConsts};
+pub use transport::{CcAlgo, FlowCold, FlowHot, FlowRx, FlowState, FlowTable, TransportConsts};
 pub use world::{CbrDesc, FlowDesc, World};

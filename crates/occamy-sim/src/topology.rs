@@ -1,5 +1,10 @@
 //! Topology builders: single shared-memory switch, leaf-spine, k-ary
 //! fat-tree and classic 3-tier (access/aggregation/core) fabrics.
+//!
+//! Every fabric builder also exports a [`DomainMap`]: a partition of
+//! the fabric into *event domains* (pods, or leaf/spine groups) that
+//! the deterministic parallel executor uses for domain-decomposed
+//! runs (`SimConfig::threads > 1`). Serial runs ignore it.
 
 use crate::event::NodeId;
 use crate::host::{Host, HostLink};
@@ -11,6 +16,80 @@ use crate::world::World;
 use crate::SimConfig;
 use occamy_core::{BmKind, QueueConfig, RateEstimator, TokenBucket};
 use std::collections::VecDeque;
+
+/// A partition of a fabric's hosts and switches into event domains for
+/// domain-decomposed parallel execution.
+///
+/// Domains exchange packets only over links whose one-way propagation
+/// delay is at least [`DomainMap::lookahead_ps`]; conservative
+/// synchronization uses that bound as its lookahead: events executed
+/// in the window `[W, W + lookahead)` can only schedule cross-domain
+/// arrivals at `>= W + lookahead`, so domains are causally independent
+/// within a window. Every host and switch belongs to exactly one
+/// domain (pinned by `tests/domain_props.rs`).
+#[derive(Debug, Clone)]
+pub struct DomainMap {
+    /// Domain of each host, indexed by host id.
+    pub host_domain: Vec<u32>,
+    /// Domain of each switch, indexed by switch id.
+    pub switch_domain: Vec<u32>,
+    /// Minimum one-way propagation delay over all cross-domain links;
+    /// `0` when the partition has no cross-domain link (parallel
+    /// execution then stays disabled).
+    pub lookahead_ps: Ps,
+    n_domains: usize,
+}
+
+impl DomainMap {
+    /// Builds a map from per-component domain assignments, deriving the
+    /// lookahead from the actual link delays of `hosts` / `switches`.
+    pub fn new(
+        host_domain: Vec<u32>,
+        switch_domain: Vec<u32>,
+        hosts: &[Host],
+        switches: &[Switch],
+    ) -> Self {
+        assert_eq!(host_domain.len(), hosts.len());
+        assert_eq!(switch_domain.len(), switches.len());
+        let n_domains = host_domain
+            .iter()
+            .chain(&switch_domain)
+            .map(|&d| d as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut lookahead = Ps::MAX;
+        let mut any_cross = false;
+        for (h, host) in hosts.iter().enumerate() {
+            if host_domain[h] != switch_domain[host.link.to_switch] {
+                lookahead = lookahead.min(host.link.prop_ps);
+                any_cross = true;
+            }
+        }
+        for (s, sw) in switches.iter().enumerate() {
+            for p in &sw.ports {
+                let peer = match p.link.to {
+                    NodeId::Host(h) => host_domain[h as usize],
+                    NodeId::Switch(t) => switch_domain[t as usize],
+                };
+                if peer != switch_domain[s] {
+                    lookahead = lookahead.min(p.link.prop_ps);
+                    any_cross = true;
+                }
+            }
+        }
+        DomainMap {
+            host_domain,
+            switch_domain,
+            lookahead_ps: if any_cross { lookahead } else { 0 },
+            n_domains,
+        }
+    }
+
+    /// Number of domains.
+    pub fn n_domains(&self) -> usize {
+        self.n_domains
+    }
+}
 
 /// Buffer-management specification for a topology.
 #[derive(Debug, Clone)]
@@ -143,7 +222,10 @@ pub fn single_switch(c: SingleSwitchCfg) -> World {
         read_rate: RateEstimator::new(10_000, 0.0),
         total_membw_bps: 2.0 * total_rate as f64,
     };
-    World::new(c.sim, hosts, vec![switch])
+    let mut w = World::new(c.sim, hosts, vec![switch]);
+    // One switch means one domain: runs stay serial.
+    w.domains = Some(DomainMap::new(vec![0; n], vec![0], &w.hosts, &w.switches));
+    w
 }
 
 /// Configuration of a leaf-spine topology (paper §6.4).
@@ -292,7 +374,17 @@ pub fn leaf_spine(c: LeafSpineCfg) -> World {
             &sh,
         ));
     }
-    World::new(c.sim.clone(), hosts, switches)
+    let mut w = World::new(c.sim.clone(), hosts, switches);
+    // Domains: each leaf plus its hosts, then each spine on its own.
+    let host_domain = (0..n_hosts).map(|h| (h / hpl) as u32).collect();
+    let switch_domain = (0..c.leaves + c.spines).map(|s| s as u32).collect();
+    w.domains = Some(DomainMap::new(
+        host_domain,
+        switch_domain,
+        &w.hosts,
+        &w.switches,
+    ));
+    w
 }
 
 /// Configuration of a k-ary fat-tree (Al-Fares et al.): `k` pods of
@@ -473,7 +565,30 @@ pub fn fat_tree(c: FatTreeCfg) -> World {
             &sh,
         ));
     }
-    World::new(c.sim.clone(), hosts, switches)
+    let mut w = World::new(c.sim.clone(), hosts, switches);
+    // Domains: pod p owns its hosts, edges and aggregations (all
+    // intra-pod links stay domain-local); each core switch is its own
+    // domain, so agg↔core links are the only cross-domain edges
+    // alongside inter-pod traffic.
+    let host_domain = (0..n_hosts).map(|h| (h / hosts_per_pod) as u32).collect();
+    let switch_domain = (0..w.switches.len())
+        .map(|s| {
+            if s < n_edges {
+                (s / half) as u32
+            } else if s < n_edges + n_aggs {
+                ((s - n_edges) / half) as u32
+            } else {
+                (c.k + (s - n_edges - n_aggs)) as u32
+            }
+        })
+        .collect();
+    w.domains = Some(DomainMap::new(
+        host_domain,
+        switch_domain,
+        &w.hosts,
+        &w.switches,
+    ));
+    w
 }
 
 /// Configuration of a classic 3-tier (access / aggregation / core)
@@ -690,7 +805,28 @@ pub fn three_tier(c: ThreeTierCfg) -> World {
             &sh,
         ));
     }
-    World::new(c.sim.clone(), hosts, switches)
+    let mut w = World::new(c.sim.clone(), hosts, switches);
+    // Domains: pod p owns its hosts, access and aggregation switches;
+    // each core switch is its own domain.
+    let host_domain = (0..n_hosts).map(|h| (h / hosts_per_pod) as u32).collect();
+    let switch_domain = (0..w.switches.len())
+        .map(|s| {
+            if s < n_access {
+                (s / c.access_per_pod) as u32
+            } else if s < n_access + n_aggs {
+                ((s - n_access) / c.aggs_per_pod) as u32
+            } else {
+                (c.pods + (s - n_access - n_aggs)) as u32
+            }
+        })
+        .collect();
+    w.domains = Some(DomainMap::new(
+        host_domain,
+        switch_domain,
+        &w.hosts,
+        &w.switches,
+    ));
+    w
 }
 
 /// The switch-assembly parameters every fabric builder shares: buffer

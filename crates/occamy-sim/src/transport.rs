@@ -16,10 +16,14 @@
 //! the flow identity a segment needs — into one compact struct the
 //! world stores as a dense array ([`FlowTable`]), so an ACK touches a
 //! couple of cache lines instead of walking a pointer-bearing
-//! struct-of-everything. [`FlowCold`] keeps what the fast path does not
-//! read: the receiver's out-of-order reassembly intervals, CUBIC epoch
-//! state, and completion/query bookkeeping. [`FlowState`] bundles one
-//! hot/cold pair for tests and single-flow callers.
+//! struct-of-everything. [`FlowCold`] keeps the sender-side state the
+//! fast path does not read: CUBIC epoch state and completion/query
+//! bookkeeping. [`FlowRx`] isolates the receiver's reassembly state
+//! (`rcv_next` plus the out-of-order interval list) — it is the only
+//! flow state the *destination* host touches, which is what lets the
+//! parallel executor give the sender's domain the hot/cold halves and
+//! the receiver's domain the rx half without sharing. [`FlowState`]
+//! bundles one hot/cold/rx triple for tests and single-flow callers.
 //!
 //! [`TransportConsts`] caches the `SimConfig`-derived per-packet
 //! constants (`mss` as `f64`, the initial window in bytes, PTO bases)
@@ -141,8 +145,9 @@ pub struct FlowHot {
     cwr_end: u64,
 }
 
-/// Everything the per-ACK path does not read: receiver reassembly
-/// state, CUBIC epoch state and completion/query bookkeeping.
+/// The sender-side state the per-ACK path does not read: CUBIC epoch
+/// state and completion/query bookkeeping. Owned, like [`FlowHot`], by
+/// the *source* host's event domain.
 #[derive(Debug, Clone, Default)]
 pub struct FlowCold {
     /// Incast query this flow belongs to (for QCT grouping).
@@ -157,6 +162,14 @@ pub struct FlowCold {
     w_max: f64,
     epoch_start: Option<Ps>,
     cubic_k: f64,
+}
+
+/// The receiver half of one flow: cumulative-ACK reassembly state. Only
+/// the *destination* host's data-arrival handler touches it, so the
+/// parallel executor hands it to the receiver's event domain while the
+/// hot/cold halves stay with the sender's.
+#[derive(Debug, Clone, Default)]
+pub struct FlowRx {
     /// Receiver reassembly: next expected byte.
     pub rcv_next: u64,
     /// Disjoint, sorted out-of-order intervals. A deque, because the
@@ -541,7 +554,7 @@ impl FlowHot {
     }
 }
 
-impl FlowCold {
+impl FlowRx {
     /// Receiver half: accepts a data segment, returns the cumulative ACK
     /// to send back.
     ///
@@ -593,15 +606,17 @@ impl FlowCold {
     }
 }
 
-/// One flow as a hot/cold pair — the convenience view used by tests and
-/// single-flow drivers. The world stores the halves in separate arrays
-/// ([`FlowTable`]); this wrapper simply forwards.
+/// One flow as a hot/cold/rx triple — the convenience view used by
+/// tests and single-flow drivers. The world stores the parts in
+/// separate arrays ([`FlowTable`]); this wrapper simply forwards.
 #[derive(Debug, Clone)]
 pub struct FlowState {
     /// The per-ACK sender half.
     pub hot: FlowHot,
-    /// The receiver / bookkeeping half.
+    /// The cold sender-side bookkeeping half.
     pub cold: FlowCold,
+    /// The receiver reassembly half.
+    pub rx: FlowRx,
 }
 
 impl FlowState {
@@ -623,6 +638,7 @@ impl FlowState {
                 start_ps,
                 ..FlowCold::default()
             },
+            rx: FlowRx::default(),
         }
     }
 
@@ -638,9 +654,9 @@ impl FlowState {
         self.hot.on_ack(&mut self.cold, ack, ece, echo_ts, now, c)
     }
 
-    /// Receiver half (see [`FlowCold::on_data`]).
+    /// Receiver half (see [`FlowRx::on_data`]).
     pub fn on_data(&mut self, seq: u64, len: u64) -> u64 {
-        self.cold.on_data(seq, len)
+        self.rx.on_data(seq, len)
     }
 
     /// See [`FlowHot::next_segment`].
@@ -672,6 +688,8 @@ pub struct FlowTable {
     pub hot: Vec<FlowHot>,
     /// Cold halves, indexed by flow id.
     pub cold: Vec<FlowCold>,
+    /// Receiver halves, indexed by flow id.
+    pub rx: Vec<FlowRx>,
 }
 
 impl FlowTable {
@@ -690,6 +708,7 @@ impl FlowTable {
         let id = self.hot.len() as FlowId;
         self.hot.push(flow.hot);
         self.cold.push(flow.cold);
+        self.rx.push(flow.rx);
         id
     }
 
@@ -949,10 +968,10 @@ mod tests {
         for seq in (1..n).rev() {
             assert_eq!(f.on_data(seq * 1_000, 1_000), 0, "hole must hold");
         }
-        assert_eq!(f.cold.ooo_intervals(), 1, "adjacent intervals must merge");
+        assert_eq!(f.rx.ooo_intervals(), 1, "adjacent intervals must merge");
         // The hole fills: everything becomes contiguous at once.
         assert_eq!(f.on_data(0, 1_000), n * 1_000);
-        assert_eq!(f.cold.ooo_intervals(), 0);
+        assert_eq!(f.rx.ooo_intervals(), 0);
 
         // Interleaved even/odd arrival: maximal interval count, then a
         // sweep of odd segments stitches them pairwise.
@@ -960,11 +979,11 @@ mod tests {
         for k in (2..200u64).step_by(2) {
             g.on_data(k * 1_000, 1_000);
         }
-        assert_eq!(g.cold.ooo_intervals(), 99);
+        assert_eq!(g.rx.ooo_intervals(), 99);
         for k in (3..200u64).step_by(2) {
             g.on_data(k * 1_000, 1_000);
         }
-        assert_eq!(g.cold.ooo_intervals(), 1);
+        assert_eq!(g.rx.ooo_intervals(), 1);
         assert_eq!(g.on_data(1_000, 1_000), 0); // still missing byte 0
         assert_eq!(g.on_data(0, 1_000), 200_000);
     }

@@ -1,15 +1,21 @@
 //! The simulation world: owns every component and drives the event loop.
+//!
+//! The handlers themselves live in [`crate::engine`]; `World` wires
+//! them to the global [`EventQueue`] (the serial environment) and, when
+//! [`SimConfig::threads`] asks for it and the topology exports event
+//! domains, hands the whole run to the deterministic parallel executor
+//! in [`crate::par`].
 
 use crate::cbr::CbrSource;
-use crate::event::{Event, EventQueue, NodeId};
+use crate::engine;
+use crate::event::{Event, EventQueue};
 use crate::host::Host;
 use crate::metrics::{CbrCounters, Metrics};
-use crate::packet::{FlowId, Packet, PacketKind};
+use crate::packet::FlowId;
 use crate::switch::Switch;
-use crate::time::{ps_to_ns, tx_time_ps, Ps, NS};
+use crate::time::Ps;
 use crate::transport::{CcAlgo, FlowState, FlowTable, TransportConsts};
 use crate::SimConfig;
-use occamy_core::{BufferManager, DropReason, Verdict};
 use occamy_stats::{FlowClass, FlowRecord, FlowSet};
 
 /// Parameters for adding a transport flow.
@@ -57,18 +63,18 @@ pub struct CbrDesc {
 /// A registered periodic queue-length sampler (see
 /// [`World::add_queue_sampler`]).
 #[derive(Debug, Clone, Copy)]
-struct SamplerSpec {
-    switch: usize,
-    partition: usize,
-    interval: Ps,
-    until: Ps,
+pub(crate) struct SamplerSpec {
+    pub(crate) switch: usize,
+    pub(crate) partition: usize,
+    pub(crate) interval: Ps,
+    pub(crate) until: Ps,
 }
 
 /// The simulation world.
 pub struct World {
     /// Current simulation time.
     pub now: Ps,
-    events: EventQueue,
+    pub(crate) events: EventQueue,
     /// Global configuration.
     pub cfg: SimConfig,
     /// Cached `SimConfig`-derived transport constants (valid because
@@ -78,15 +84,22 @@ pub struct World {
     pub hosts: Vec<Host>,
     /// Switches, indexed by switch id.
     pub switches: Vec<Switch>,
-    /// All transport flows ever added, split hot/cold (see
+    /// All transport flows ever added, split hot/cold/rx (see
     /// [`crate::transport`]).
     pub flows: FlowTable,
     /// All CBR sources ever added.
     pub cbrs: Vec<CbrSource>,
     /// Registered queue samplers.
-    samplers: Vec<SamplerSpec>,
+    pub(crate) samplers: Vec<SamplerSpec>,
     /// Collected measurements.
     pub metrics: Metrics,
+    /// Event-domain partition exported by the topology builder, if any
+    /// (see [`crate::topology::DomainMap`]); enables parallel runs.
+    pub domains: Option<crate::topology::DomainMap>,
+    /// Statistics from the most recent parallel run (`None` until a
+    /// run actually takes the parallel path). Purely observational —
+    /// never feeds back into simulation state.
+    pub par_stats: Option<crate::par::ParStats>,
 }
 
 // The parallel experiment runner builds and runs whole worlds on worker
@@ -112,6 +125,8 @@ impl World {
             cbrs: Vec::new(),
             samplers: Vec::new(),
             metrics: Metrics::default(),
+            domains: None,
+            par_stats: None,
         }
     }
 
@@ -166,7 +181,9 @@ impl World {
     }
 
     /// Registers a periodic queue-length sampler over one partition
-    /// (paper Fig. 11 time series).
+    /// (paper Fig. 11 time series). Worlds with samplers always run on
+    /// the serial path: the sample cadence is a global clock that would
+    /// serialize the domains anyway.
     pub fn add_queue_sampler(&mut self, switch: usize, partition: usize, interval: Ps, until: Ps) {
         let sampler = self.samplers.len() as u32;
         self.samplers.push(SamplerSpec {
@@ -193,58 +210,105 @@ impl World {
 
     #[inline]
     fn execute(&mut self, t: Ps, ev: Event) {
-        debug_assert!(t >= self.now, "time went backwards");
-        self.now = t;
-        self.metrics.events_processed += 1;
-        match ev {
-            Event::Arrive { node, pkt } => {
-                let pkt = self.events.take_packet(pkt);
-                match node {
-                    NodeId::Host(h) => self.host_rx(h as usize, pkt),
-                    NodeId::Switch(s) => self.switch_rx(s as usize, pkt),
-                }
-            }
-            Event::PortFree { switch, port } => {
-                let (s, port) = (switch as usize, port as usize);
-                self.switches[s].ports[port].tx_busy = false;
-                self.port_pump(s, port);
-            }
-            Event::HostTxFree { host } => {
-                let h = host as usize;
-                self.hosts[h].tx_busy = false;
-                self.host_pump(h);
-            }
-            Event::ExpelRetry { switch, partition } => {
-                let (s, pa) = (switch as usize, partition as usize);
-                self.switches[s].partitions[pa].expel_armed = false;
-                self.try_expel(s, pa);
-            }
-            Event::Rto { flow } => self.rto_fire(flow),
-            Event::FlowStart { flow } => {
-                let f = flow as usize;
-                self.flows.hot[f].set_started(true);
-                let h = self.flows.hot[f].src as usize;
-                self.hosts[h].mark_ready(&mut self.flows.hot, flow);
-                self.host_pump(h);
-            }
-            Event::CbrEmit { source } => self.cbr_emit(source as usize),
-            Event::Sample { sampler } => self.sample(sampler),
+        let World {
+            now,
+            events,
+            cfg,
+            consts,
+            hosts,
+            switches,
+            flows,
+            cbrs,
+            samplers,
+            metrics,
+            ..
+        } = self;
+        let mut ctx = engine::Ctx {
+            now: *now,
+            cfg,
+            consts,
+            hosts,
+            switches,
+            hot: flows.hot.as_mut_slice(),
+            cold: flows.cold.as_mut_slice(),
+            rx: flows.rx.as_mut_slice(),
+            cbrs,
+            samplers,
+            metrics,
+        };
+        engine::execute_event(&mut ctx, events, t, ev);
+        *now = ctx.now;
+    }
+
+    /// Serial event loop: drains events with timestamp `<= limit`.
+    /// The [`engine::Ctx`] is built once and reused across the whole
+    /// loop so the per-event cost is identical to the pre-split
+    /// monolithic dispatch.
+    fn run_serial(&mut self, limit: Ps) {
+        let World {
+            now,
+            events,
+            cfg,
+            consts,
+            hosts,
+            switches,
+            flows,
+            cbrs,
+            samplers,
+            metrics,
+            ..
+        } = self;
+        let mut ctx = engine::Ctx {
+            now: *now,
+            cfg,
+            consts,
+            hosts,
+            switches,
+            hot: flows.hot.as_mut_slice(),
+            cold: flows.cold.as_mut_slice(),
+            rx: flows.rx.as_mut_slice(),
+            cbrs,
+            samplers,
+            metrics,
+        };
+        while let Some((at, ev)) = events.pop_at_most(limit) {
+            engine::execute_event(&mut ctx, events, at, ev);
         }
+        *now = ctx.now;
     }
 
     /// Runs until simulated time `t` (events at exactly `t` included).
     pub fn run_until(&mut self, t: Ps) {
-        while let Some((at, ev)) = self.events.pop_at_most(t) {
-            self.execute(at, ev);
+        if self.parallel_engaged() {
+            let stats = crate::par::run_parallel(self, t);
+            self.par_stats = Some(stats);
+        } else {
+            self.run_serial(t);
         }
         self.now = self.now.max(t);
     }
 
     /// Runs until the event queue drains or `limit` is reached.
     pub fn run_to_completion(&mut self, limit: Ps) {
-        while let Some((at, ev)) = self.events.pop_at_most(limit) {
-            self.execute(at, ev);
+        if self.parallel_engaged() {
+            let stats = crate::par::run_parallel(self, limit);
+            self.par_stats = Some(stats);
+        } else {
+            self.run_serial(limit);
         }
+    }
+
+    /// Whether this run takes the domain-decomposed parallel path.
+    /// `threads <= 1` always takes the serial path (bit-for-bit the
+    /// pre-parallelism loop); samplers force serial (global cadence);
+    /// a single domain or zero lookahead has nothing to parallelize.
+    fn parallel_engaged(&self) -> bool {
+        self.cfg.threads > 1
+            && self.samplers.is_empty()
+            && self
+                .domains
+                .as_ref()
+                .is_some_and(|d| d.n_domains() > 1 && d.lookahead_ps > 0)
     }
 
     /// Whether all transport flows completed.
@@ -270,382 +334,5 @@ impl World {
             });
         }
         set
-    }
-
-    // ---------------------------------------------------------------
-    // Hosts
-    // ---------------------------------------------------------------
-
-    fn host_rx(&mut self, h: usize, pkt: Packet) {
-        match pkt.kind {
-            PacketKind::Ack => {
-                let f = pkt.flow;
-                let (hot, cold) = self.flows.pair_mut(f);
-                let completed =
-                    hot.on_ack(cold, pkt.ack_seq, pkt.ece, pkt.ts, self.now, &self.consts);
-                if !completed {
-                    self.arm_rto(pkt.flow);
-                    if self.flows.hot[f as usize].can_send() {
-                        self.hosts[h].mark_ready(&mut self.flows.hot, pkt.flow);
-                        self.host_pump(h);
-                    }
-                }
-            }
-            PacketKind::Data => {
-                self.metrics.delivered_pkts += 1;
-                self.metrics.delivered_bytes += pkt.len as u64;
-                let f = pkt.flow as usize;
-                let ack_seq = self.flows.cold[f].on_data(pkt.seq, pkt.len as u64);
-                let sender = self.flows.hot[f].src;
-                let ack = Packet::ack(
-                    pkt.flow, h as u32, sender, ack_seq, pkt.ce, pkt.prio, pkt.ts,
-                );
-                self.hosts[h].ack_queue.push_back(ack);
-                self.host_pump(h);
-            }
-            PacketKind::Raw => {
-                let c = &mut self.metrics.cbr[pkt.flow as usize];
-                c.rcvd_pkts += 1;
-                c.rcvd_bytes += pkt.len as u64;
-                self.metrics.delivered_pkts += 1;
-                self.metrics.delivered_bytes += pkt.len as u64;
-            }
-        }
-    }
-
-    fn host_pump(&mut self, h: usize) {
-        if self.hosts[h].tx_busy {
-            return;
-        }
-        let now = self.now;
-        let Some(pkt) = self.hosts[h].next_packet(&mut self.flows.hot, now, &self.consts) else {
-            return;
-        };
-        if pkt.kind == PacketKind::Data {
-            self.arm_rto(pkt.flow);
-        }
-        if pkt.kind == PacketKind::Raw {
-            let c = &mut self.metrics.cbr[pkt.flow as usize];
-            c.sent_pkts += 1;
-            c.sent_bytes += pkt.len as u64;
-        }
-        let host = &mut self.hosts[h];
-        let link = host.link;
-        let ser = tx_time_ps(pkt.wire_bytes(), link.rate_bps);
-        host.tx_busy = true;
-        self.events
-            .push(now + ser, Event::HostTxFree { host: h as u32 });
-        self.events.push_arrival(
-            now + ser + link.prop_ps,
-            NodeId::switch(link.to_switch),
-            pkt,
-        );
-    }
-
-    fn arm_rto(&mut self, flow: FlowId) {
-        let f = &mut self.flows.hot[flow as usize];
-        if !f.outstanding() {
-            return;
-        }
-        let deadline = self.now + f.timer_delay(&self.consts);
-        f.rto_deadline = deadline;
-        if !f.timer_armed() {
-            f.set_timer_armed(true);
-            // Timers live on the wheel, not the packet heap.
-            self.events.push_timer(deadline, Event::Rto { flow });
-        }
-    }
-
-    fn rto_fire(&mut self, flow: FlowId) {
-        let (f, cold) = self.flows.pair_mut(flow);
-        f.set_timer_armed(false);
-        if f.done() || !f.outstanding() {
-            return;
-        }
-        if self.now < f.rto_deadline {
-            // Deadline was pushed forward by ACK activity: resleep.
-            f.set_timer_armed(true);
-            let at = f.rto_deadline;
-            self.events.push_timer(at, Event::Rto { flow });
-            return;
-        }
-        // Tail-loss probe first (no congestion-state change), full RTO
-        // once the probe budget is exhausted.
-        f.on_timer(cold, &self.consts);
-        self.arm_rto(flow);
-        let h = self.flows.hot[flow as usize].src as usize;
-        self.hosts[h].mark_ready(&mut self.flows.hot, flow);
-        self.host_pump(h);
-    }
-
-    fn cbr_emit(&mut self, source: usize) {
-        let now = self.now;
-        let src = &mut self.cbrs[source];
-        if !src.active(now) {
-            return;
-        }
-        let pkt = src.emit(now);
-        let h = src.host;
-        self.hosts[h].cbr_queue.push_back(pkt);
-        self.host_pump(h);
-        let src = &self.cbrs[source];
-        let next = now + src.emit_interval();
-        if src.active(next) {
-            self.events.push(
-                next,
-                Event::CbrEmit {
-                    source: source as u32,
-                },
-            );
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Switches
-    // ---------------------------------------------------------------
-    //
-    // The switch-side handlers borrow their switch exactly once per
-    // event and thread it through free helper functions; the old
-    // `self.switches[s]` re-borrow per sub-step showed up in profiles.
-
-    fn switch_rx(&mut self, s: usize, mut pkt: Packet) {
-        let now = self.now;
-        let now_ns = ps_to_ns(now);
-        let ecn_k = self.cfg.ecn_k_bytes;
-        let cell = self.cfg.cell_bytes;
-        let sw = &mut self.switches[s];
-        let port = sw.routing.port_for(pkt.dst as usize, pkt.flow);
-        let class = (pkt.prio as usize).min(sw.classes - 1);
-        let pa = sw.port_partition[port];
-        let qidx = sw.queue_index(port, class);
-        let wire = pkt.wire_bytes();
-        let part = &mut sw.partitions[pa];
-
-        match part.bm.admit(qidx, wire, &part.state) {
-            Verdict::Accept => {
-                enqueue_in(sw, pa, port, class, qidx, pkt, ecn_k, now_ns);
-                pump_port(sw, &mut self.events, cell, now, s, port);
-                if sw.partitions[pa].reactive {
-                    try_expel_in(sw, &mut self.events, &mut self.metrics, cell, now, s, pa);
-                }
-            }
-            Verdict::Evict => {
-                // Pushout: synchronously evict from the longest queue
-                // until the newcomer fits (paper §2.2).
-                while sw.partitions[pa].state.free() < wire {
-                    let part = &mut sw.partitions[pa];
-                    let Some(v) = part.bm.select_victim(&part.state) else {
-                        break;
-                    };
-                    if !head_drop_in(sw, pa, v, now_ns) {
-                        break;
-                    }
-                    self.metrics.drops.pushout_evictions += 1;
-                }
-                if sw.partitions[pa].state.free() >= wire {
-                    enqueue_in(sw, pa, port, class, qidx, pkt, ecn_k, now_ns);
-                    pump_port(sw, &mut self.events, cell, now, s, port);
-                } else {
-                    record_drop_in(sw, &mut self.metrics, pa, now_ns, false);
-                }
-            }
-            Verdict::Drop(reason) => {
-                let threshold = reason == DropReason::OverThreshold;
-                record_drop_in(sw, &mut self.metrics, pa, now_ns, threshold);
-                if sw.partitions[pa].reactive {
-                    try_expel_in(sw, &mut self.events, &mut self.metrics, cell, now, s, pa);
-                }
-                let _ = &mut pkt; // dropped
-            }
-        }
-    }
-
-    fn port_pump(&mut self, s: usize, port: usize) {
-        let now = self.now;
-        let cell = self.cfg.cell_bytes;
-        pump_port(&mut self.switches[s], &mut self.events, cell, now, s, port);
-    }
-
-    /// Occamy's reactive expulsion process: head-drop from over-allocated
-    /// queues while redundant memory bandwidth is available.
-    fn try_expel(&mut self, s: usize, pa: usize) {
-        let now = self.now;
-        let cell = self.cfg.cell_bytes;
-        try_expel_in(
-            &mut self.switches[s],
-            &mut self.events,
-            &mut self.metrics,
-            cell,
-            now,
-            s,
-            pa,
-        );
-    }
-
-    fn sample(&mut self, sampler: u32) {
-        let SamplerSpec {
-            switch,
-            partition,
-            interval,
-            until,
-        } = self.samplers[sampler as usize];
-        let part = &self.switches[switch].partitions[partition];
-        self.metrics.queue_samples.record(
-            self.now,
-            switch,
-            partition,
-            part.state.iter().map(|(_, l)| l),
-            (0..part.state.num_queues()).map(|q| part.bm.threshold(q, &part.state)),
-        );
-        if self.now + interval <= until {
-            self.events
-                .push(self.now + interval, Event::Sample { sampler });
-        }
-    }
-}
-
-/// Enqueues an admitted packet into its partition and port queue,
-/// applying DCTCP CE marking.
-#[allow(clippy::too_many_arguments)]
-fn enqueue_in(
-    sw: &mut Switch,
-    pa: usize,
-    port: usize,
-    class: usize,
-    qidx: usize,
-    mut pkt: Packet,
-    ecn_k: u64,
-    now_ns: u64,
-) {
-    let wire = pkt.wire_bytes();
-    let part = &mut sw.partitions[pa];
-    part.state
-        .enqueue(qidx, wire)
-        .expect("BM admitted beyond capacity");
-    part.bm.on_enqueue(qidx, wire, now_ns, &part.state);
-    let qlen = part.state.queue_len(qidx);
-    sw.write_rate.record(wire, now_ns);
-    // DCTCP marking: CE when the instantaneous queue exceeds K.
-    if pkt.kind == PacketKind::Data && qlen > ecn_k {
-        pkt.ce = true;
-    }
-    sw.ports[port].queues[class].push_back(pkt);
-}
-
-/// Records a refused arrival with its utilization context.
-fn record_drop_in(sw: &Switch, metrics: &mut Metrics, pa: usize, now_ns: u64, threshold: bool) {
-    let part = &sw.partitions[pa];
-    let util = part.state.total() as f64 / part.state.capacity() as f64;
-    let membw = sw.membw_util(now_ns);
-    metrics.record_drop(threshold, util, membw);
-}
-
-/// Removes the head packet of partition-local queue `qidx` without
-/// transmitting it. Returns `false` if the queue was empty.
-fn head_drop_in(sw: &mut Switch, pa: usize, qidx: usize, now_ns: u64) -> bool {
-    let (port, class) = sw.queue_location(pa, qidx);
-    let Some(pkt) = sw.ports[port].queues[class].pop_front() else {
-        return false;
-    };
-    let wire = pkt.wire_bytes();
-    let part = &mut sw.partitions[pa];
-    part.state
-        .dequeue(qidx, wire)
-        .expect("queue accounting out of sync");
-    part.bm.on_dequeue(qidx, wire, now_ns, &part.state);
-    // A head drop costs PD/cell-pointer bandwidth, which the token
-    // bucket charges, but never touches the cell data memory, so the
-    // read-rate estimator (data path) is not updated (paper §3.2).
-    true
-}
-
-/// Dequeues and transmits the scheduler's pick on an idle egress port.
-fn pump_port(sw: &mut Switch, events: &mut EventQueue, cell: u64, now: Ps, s: usize, port: usize) {
-    if sw.ports[port].tx_busy {
-        return;
-    }
-    let now_ns = ps_to_ns(now);
-    let p = &mut sw.ports[port];
-    let Some(class) = p.sched.pick(&p.queues) else {
-        return;
-    };
-    let pkt = p.queues[class]
-        .pop_front()
-        .expect("scheduler picked an empty queue");
-    let wire = pkt.wire_bytes();
-    let pa = sw.port_partition[port];
-    let qidx = sw.queue_index(port, class);
-    let part = &mut sw.partitions[pa];
-    part.state
-        .dequeue(qidx, wire)
-        .expect("queue accounting out of sync");
-    part.bm.on_dequeue(qidx, wire, now_ns, &part.state);
-    // TX has absolute priority on memory bandwidth: it may drive the
-    // expulsion token balance negative (fixed-priority arbiter, §4.3).
-    part.tb.force_take(wire.div_ceil(cell) as f64, now_ns);
-    sw.read_rate.record(wire, now_ns);
-    let p = &mut sw.ports[port];
-    let link = p.link;
-    p.tx_busy = true;
-    let ser = tx_time_ps(wire, link.rate_bps);
-    events.push(
-        now + ser,
-        Event::PortFree {
-            switch: s as u32,
-            port: port as u32,
-        },
-    );
-    events.push_arrival(now + ser + link.prop_ps, link.to, pkt);
-}
-
-/// Occamy's reactive expulsion loop over one partition.
-fn try_expel_in(
-    sw: &mut Switch,
-    events: &mut EventQueue,
-    metrics: &mut Metrics,
-    cell: u64,
-    now: Ps,
-    s: usize,
-    pa: usize,
-) {
-    if !sw.partitions[pa].reactive {
-        return;
-    }
-    let now_ns = ps_to_ns(now);
-    loop {
-        let part = &mut sw.partitions[pa];
-        let Some(v) = part.bm.select_victim(&part.state) else {
-            return;
-        };
-        // Cost of expelling the head packet, in cells.
-        let (port, class) = sw.queue_location(pa, v);
-        let Some(head_wire) = sw.ports[port].queues[class].front().map(|p| p.wire_bytes()) else {
-            return;
-        };
-        let cells = head_wire.div_ceil(cell) as f64;
-        let part = &mut sw.partitions[pa];
-        if part.tb.try_take(cells, now_ns) {
-            head_drop_in(sw, pa, v, now_ns);
-            metrics.drops.head_drops += 1;
-        } else {
-            // Not enough redundant bandwidth now: retry once the
-            // bucket has refilled enough for this packet. A `None`
-            // means the request can never be satisfied (zero-rate
-            // ablation or a cap below one packet): leave disarmed and
-            // let the next enqueue re-evaluate.
-            if !part.expel_armed {
-                if let Some(wait_ns) = part.tb.time_until(cells, now_ns) {
-                    part.expel_armed = true;
-                    events.push(
-                        now.saturating_add(wait_ns.max(1).saturating_mul(NS)),
-                        Event::ExpelRetry {
-                            switch: s as u32,
-                            partition: pa as u32,
-                        },
-                    );
-                }
-            }
-            return;
-        }
     }
 }

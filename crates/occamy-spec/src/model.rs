@@ -275,6 +275,11 @@ pub struct SimSpec {
     pub mss: u64,
     /// Scale factor on the expulsion token rate (Occamy §5.3).
     pub expel_rate_factor: f64,
+    /// Intra-run worker threads for domain-decomposed parallel
+    /// simulation (default 1 = serial). Results are bit-identical for
+    /// every value; the CLI's `--threads` can raise but never lower
+    /// the effective count.
+    pub threads: u64,
 }
 
 /// One `[grid]` axis: a knob swept over per-scale value lists
@@ -615,7 +620,13 @@ fn parse_sim(doc: &Value) -> Result<SimSpec> {
     check_keys(
         ctx,
         t,
-        &["ecn_k_bytes", "min_rto_ms", "mss", "expel_rate_factor"],
+        &[
+            "ecn_k_bytes",
+            "min_rto_ms",
+            "mss",
+            "expel_rate_factor",
+            "threads",
+        ],
     )?;
     let expel = get_f64(ctx, t, "expel_rate_factor", 1.0)?;
     if !(0.0..=1_000.0).contains(&expel) {
@@ -629,6 +640,7 @@ fn parse_sim(doc: &Value) -> Result<SimSpec> {
         min_rto_ms: get_u64(ctx, t, "min_rto_ms", 5)?.max(1),
         mss: get_u64(ctx, t, "mss", 1_460)?.max(1),
         expel_rate_factor: expel,
+        threads: get_u64(ctx, t, "threads", 1)?.max(1),
     })
 }
 
