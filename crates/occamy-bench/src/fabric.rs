@@ -16,7 +16,7 @@ use crate::scenario::Scale;
 use crate::scenarios::{inject_fabric_workload, BgPattern, LeafSpineScenario};
 use occamy_core::BmKind;
 use occamy_sim::topology::{fat_tree, three_tier, BmSpec, FatTreeCfg, SchedKind, ThreeTierCfg};
-use occamy_sim::{Ps, SimConfig, World, MS};
+use occamy_sim::{FaultSchedule, Ps, SimConfig, World, MS};
 
 /// The fabric shape a [`FabricScenario`] runs on.
 #[derive(Debug, Clone)]
@@ -120,6 +120,10 @@ pub struct FabricScenario {
     pub seed: u64,
     /// Simulation parameters.
     pub sim: SimConfig,
+    /// Deterministic fault schedule (times are fractions of
+    /// `duration_ps`, so the same schedule scales with `--quick` and
+    /// `--smoke` clamps). Empty by default.
+    pub faults: FaultSchedule,
 }
 
 impl FabricScenario {
@@ -146,6 +150,7 @@ impl FabricScenario {
             drain_ps: ls.drain_ps,
             seed: ls.seed,
             sim: ls.sim,
+            faults: FaultSchedule::default(),
         }
     }
 
@@ -207,6 +212,7 @@ impl FabricScenario {
             drain_ps: self.drain_ps,
             seed: self.seed,
             sim: self.sim.clone(),
+            faults: self.faults.clone(),
         })
     }
 
@@ -275,6 +281,7 @@ impl FabricScenario {
             self.duration_ps,
             self.seed,
         );
+        self.faults.apply(&mut world, self.duration_ps);
         world.run_to_completion(self.duration_ps + self.drain_ps);
         let flows = world.flow_records();
         let result = aggregate(
@@ -282,7 +289,8 @@ impl FabricScenario {
             self.ideal(),
             world.metrics.drops.total_losses(),
             world.metrics.events_processed,
-        );
+        )
+        .with_resilience(&world);
         (world, result)
     }
 

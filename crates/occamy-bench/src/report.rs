@@ -25,6 +25,54 @@ impl IdealFct {
     }
 }
 
+/// Transport-level resilience of one run: retransmission/RTO counters
+/// (meaningful fault-free too — congestion loss alone triggers them)
+/// plus the fault-injection tallies and recovery-time distribution.
+/// All of it is deterministic simulated state, so unlike the
+/// parallelism trajectory none of these fields are gated behind
+/// [`crate::freeze_perf`].
+#[derive(Debug, Default)]
+pub struct Resilience {
+    /// Segments retransmitted (TLP probes and RTO go-back-N resends).
+    pub retransmissions: u64,
+    /// Full retransmission-timeout firings.
+    pub rto_fires: u64,
+    /// Scheduled fault events executed.
+    pub faults_fired: u64,
+    /// Packets dropped because of a fault (flushed on link-down,
+    /// refused by a draining switch, addressed to a departed host).
+    pub fault_drops: u64,
+    /// Flows still killed (host left, never rejoined) at run end.
+    pub flows_killed: u64,
+    /// Interrupted flows (full RTO or host-leave kill) that still
+    /// completed.
+    pub flows_recovered: u64,
+    /// First-interruption-to-completion times of recovered flows,
+    /// milliseconds.
+    pub recovery_ms: Summary,
+}
+
+impl Resilience {
+    /// Collects the resilience counters of a finished world.
+    pub fn from_world(world: &World) -> Self {
+        let c = world.resilience();
+        Resilience {
+            retransmissions: c.retransmissions,
+            rto_fires: c.rto_fires,
+            faults_fired: c.faults_fired,
+            fault_drops: c.fault_drops,
+            flows_killed: c.flows_killed,
+            flows_recovered: c.flows_recovered,
+            recovery_ms: Summary::from_samples(
+                c.recovery_times_ps
+                    .iter()
+                    .map(|&ps| ps as f64 / 1e9)
+                    .collect(),
+            ),
+        }
+    }
+}
+
 /// Aggregated metrics of one simulation run.
 #[derive(Debug)]
 pub struct RunResult {
@@ -47,9 +95,17 @@ pub struct RunResult {
     /// Simulator events executed producing this result (the numerator of
     /// the events/sec throughput the runner records per cell).
     pub events: u64,
+    /// Retransmission and fault-recovery tallies.
+    pub resilience: Resilience,
 }
 
 impl RunResult {
+    /// Replaces the default (empty) resilience tallies with those of the
+    /// finished world the flow records came from.
+    pub fn with_resilience(mut self, world: &World) -> Self {
+        self.resilience = Resilience::from_world(world);
+        self
+    }
     /// Flattens the headline statistics into scenario-cell metrics.
     /// Statistics without samples are omitted (they format as `-`).
     pub fn into_cell(mut self) -> CellResult {
@@ -67,6 +123,14 @@ impl RunResult {
             .metric("losses", self.losses as f64)
             .metric("unfinished", self.unfinished as f64)
             .metric("events", self.events as f64)
+            .metric("retransmissions", self.resilience.retransmissions as f64)
+            .metric("rto_fires", self.resilience.rto_fires as f64)
+            .metric("faults_fired", self.resilience.faults_fired as f64)
+            .metric("fault_drops", self.resilience.fault_drops as f64)
+            .metric("flows_killed", self.resilience.flows_killed as f64)
+            .metric("flows_recovered", self.resilience.flows_recovered as f64)
+            .metric_opt("recovery_ms_avg", self.resilience.recovery_ms.mean())
+            .metric_opt("recovery_ms_p99", self.resilience.recovery_ms.p99())
     }
 
     /// Serializes every distribution summary plus the counters.
@@ -83,6 +147,19 @@ impl RunResult {
             ("losses", Json::from(self.losses)),
             ("unfinished", Json::from(self.unfinished)),
             ("events", Json::from(self.events)),
+            (
+                "retransmissions",
+                Json::from(self.resilience.retransmissions),
+            ),
+            ("rto_fires", Json::from(self.resilience.rto_fires)),
+            ("faults_fired", Json::from(self.resilience.faults_fired)),
+            ("fault_drops", Json::from(self.resilience.fault_drops)),
+            ("flows_killed", Json::from(self.resilience.flows_killed)),
+            (
+                "flows_recovered",
+                Json::from(self.resilience.flows_recovered),
+            ),
+            ("recovery_ms", self.resilience.recovery_ms.to_json()),
         ])
     }
 }
@@ -131,6 +208,7 @@ pub fn aggregate(flows: &FlowSet, ideal: IdealFct, losses: u64, events: u64) -> 
         losses,
         unfinished: flows.unfinished(),
         events,
+        resilience: Resilience::default(),
     }
 }
 

@@ -5,7 +5,7 @@ use occamy_core::BmKind;
 use occamy_sim::topology::{
     leaf_spine, single_switch, BmSpec, LeafSpineCfg, SchedKind, SingleSwitchCfg,
 };
-use occamy_sim::{CcAlgo, FlowDesc, Ps, SimConfig, World, MS, US};
+use occamy_sim::{CcAlgo, FaultSchedule, FlowDesc, Ps, SimConfig, World, MS, US};
 use occamy_traffic::{web_search, BackgroundWorkload, FlowSpec, QueryWorkload, TrafficClass};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -226,7 +226,8 @@ impl TestbedScenario {
             self.ideal(),
             world.metrics.drops.total_losses(),
             world.metrics.events_processed,
-        );
+        )
+        .with_resilience(&world);
         (world, result)
     }
 }
@@ -277,6 +278,9 @@ pub struct LeafSpineScenario {
     pub seed: u64,
     /// Simulation parameters.
     pub sim: SimConfig,
+    /// Deterministic fault schedule (times as fractions of
+    /// `duration_ps`). Empty by default.
+    pub faults: FaultSchedule,
 }
 
 impl LeafSpineScenario {
@@ -308,6 +312,7 @@ impl LeafSpineScenario {
                 min_rto: 5 * MS,
                 ..SimConfig::default()
             },
+            faults: FaultSchedule::default(),
         }
     }
 
@@ -371,6 +376,7 @@ impl LeafSpineScenario {
         let mut world = self.build();
         crate::apply_sim_threads(&mut world);
         self.inject(&mut world);
+        self.faults.apply(&mut world, self.duration_ps);
         world.run_to_completion(self.duration_ps + self.drain_ps);
         let flows = world.flow_records();
         let result = aggregate(
@@ -378,7 +384,8 @@ impl LeafSpineScenario {
             self.ideal(),
             world.metrics.drops.total_losses(),
             world.metrics.events_processed,
-        );
+        )
+        .with_resilience(&world);
         (world, result)
     }
 }

@@ -610,9 +610,28 @@ pub fn run_shard(plan_path: &Path, parallel: bool, out: Option<&Path>) -> Result
     let path = out
         .map(Path::to_path_buf)
         .unwrap_or_else(|| default_partial_path(plan_path));
-    Json::Obj(fields)
-        .write_to(&path)
-        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    let doc = Json::Obj(fields);
+    if let Err(first) = doc.write_to(&path) {
+        // A transient I/O failure here would throw away a whole shard of
+        // simulated cells, so retry the write once before giving up —
+        // and name the cells at stake so an operator reading the log
+        // knows what a persistent failure loses.
+        let cell_list = cells
+            .iter()
+            .map(|c| c.index.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "warning: writing {} failed ({first}); retrying once (cells [{cell_list}])",
+            path.display()
+        );
+        doc.write_to(&path).map_err(|e| {
+            format!(
+                "cannot write {} (retried once; first error: {first}): {e}",
+                path.display()
+            )
+        })?;
+    }
     Ok(path)
 }
 

@@ -18,8 +18,8 @@ use crate::scenario::{
     matrix_table, CellOutcome, CellResult, CellSpec, Grid, Report, Scale, Scenario, Value,
 };
 use crate::scenarios::{bm_kind_by_name, BgPattern};
-use occamy_sim::{Ps, SimConfig, MS, US};
-use occamy_spec::{AxisSpec, Background, Num, QuerySize, SpecDoc, TopologyKind};
+use occamy_sim::{Drain, FaultSchedule, HostChurn, LinkFlap, Ps, SimConfig, MS, US};
+use occamy_spec::{AxisSpec, Background, FaultClause, Num, QuerySize, SpecDoc, TopologyKind};
 
 /// A registry-compatible scenario compiled from a spec document.
 ///
@@ -159,6 +159,34 @@ impl SpecScenario {
             // pct / 100` — keeps spec runs bit-identical to them.
             QuerySize::PctBuffer(pct) => buffer_per_8ports * pct / 100,
         };
+        let mut faults = FaultSchedule::default();
+        for f in &self.doc.faults {
+            match *f {
+                FaultClause::LinkFlap {
+                    switch,
+                    port,
+                    down,
+                    up,
+                } => faults.link_flaps.push(LinkFlap {
+                    switch: switch as u32,
+                    port: port as u16,
+                    down,
+                    up,
+                }),
+                FaultClause::Drain { switch, start, end } => faults.drains.push(Drain {
+                    switch: switch as u32,
+                    start,
+                    end,
+                }),
+                FaultClause::HostChurn { host, leave, join } => {
+                    faults.host_churns.push(HostChurn {
+                        host: host as u32,
+                        leave,
+                        join,
+                    })
+                }
+            }
+        }
         let s = &self.doc.sim;
         FabricScenario {
             topo,
@@ -184,6 +212,7 @@ impl SpecScenario {
                 threads: (s.threads as usize).max(1),
                 ..SimConfig::default()
             },
+            faults,
         }
     }
 }

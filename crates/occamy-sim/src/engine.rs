@@ -27,6 +27,7 @@
 
 use crate::cbr::CbrSource;
 use crate::event::{Event, EventQueue, NodeId, PacketId};
+use crate::faults::{FaultKind, FaultSpec};
 use crate::host::Host;
 use crate::metrics::Metrics;
 use crate::packet::{FlowId, Packet, PacketKind};
@@ -136,6 +137,9 @@ pub(crate) struct Ctx<'a> {
     /// Registered queue samplers (serial runs only; a world with
     /// samplers never takes the parallel path).
     pub samplers: &'a [SamplerSpec],
+    /// The world's immutable fault table (`Event::Fault` payloads
+    /// index into it).
+    pub faults: &'a [FaultSpec],
     /// Metric sink (per-domain in parallel runs).
     pub metrics: &'a mut Metrics,
 }
@@ -192,6 +196,13 @@ pub(crate) fn execute_event<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, t: Ps, ev: E
             ctx.hot[i].set_started(true);
             let gh = ctx.hot[i].src;
             let lh = env.host_idx(gh);
+            if !ctx.hosts[lh].alive {
+                // A flow starting on a dead host is born killed; it
+                // resumes (and recovers) if the host rejoins.
+                ctx.hot[i].kill();
+                ctx.cold[i].first_interrupt_ps.get_or_insert(t);
+                return;
+            }
             // Host ready queues hold *storage* indices into the hot
             // slice (identical to flow ids in a serial run), so the
             // host can index its flows without an id translation.
@@ -200,6 +211,7 @@ pub(crate) fn execute_event<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, t: Ps, ev: E
         }
         Event::CbrEmit { source } => cbr_emit(ctx, env, source),
         Event::Sample { sampler } => sample(ctx, env, sampler),
+        Event::Fault { fault } => fault_fire(ctx, env, fault),
     }
 }
 
@@ -208,6 +220,12 @@ pub(crate) fn execute_event<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, t: Ps, ev: E
 // -------------------------------------------------------------------
 
 fn host_rx<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, gh: u32, pkt: Packet) {
+    if !ctx.hosts[env.host_idx(gh)].alive {
+        // Fault injection: a dead host receives nothing — data
+        // addressed to it and ACKs returning to its flows both vanish.
+        ctx.metrics.fault_drops += 1;
+        return;
+    }
     match pkt.kind {
         PacketKind::Ack => {
             let f = pkt.flow;
@@ -299,7 +317,7 @@ fn rto_fire<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, flow: FlowId) {
     let i = env.flow_idx(flow);
     let f = &mut ctx.hot[i];
     f.set_timer_armed(false);
-    if f.done() || !f.outstanding() {
+    if f.done() || f.killed() || !f.outstanding() {
         return;
     }
     if ctx.now < f.rto_deadline {
@@ -310,8 +328,12 @@ fn rto_fire<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, flow: FlowId) {
         return;
     }
     // Tail-loss probe first (no congestion-state change), full RTO
-    // once the probe budget is exhausted.
-    ctx.hot[i].on_timer(&mut ctx.cold[i], ctx.consts);
+    // once the probe budget is exhausted. A full RTO marks the flow
+    // interrupted for recovery-time accounting (first interrupt only).
+    if ctx.hot[i].on_timer(&mut ctx.cold[i], ctx.consts) {
+        let now = ctx.now;
+        ctx.cold[i].first_interrupt_ps.get_or_insert(now);
+    }
     arm_rto(ctx, env, flow);
     let gh = ctx.hot[i].src;
     let lh = env.host_idx(gh);
@@ -326,11 +348,15 @@ fn cbr_emit<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, source: u32) {
     if !src.active(now) {
         return;
     }
-    let pkt = src.emit(now);
     let gh = src.host as u32;
     let lh = env.host_idx(gh);
-    ctx.hosts[lh].cbr_queue.push_back(pkt);
-    host_pump(ctx, env, gh);
+    if ctx.hosts[lh].alive {
+        let pkt = ctx.cbrs[li].emit(now);
+        ctx.hosts[lh].cbr_queue.push_back(pkt);
+        host_pump(ctx, env, gh);
+    }
+    // A dead host skips the emission but keeps its emit clock running,
+    // so the source resumes on schedule when the host rejoins.
     let src = &ctx.cbrs[li];
     let next = now + src.emit_interval();
     if src.active(next) {
@@ -353,11 +379,34 @@ fn switch_rx<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, gs: u32, mut pkt: Packet) {
     let cell = ctx.cfg.cell_bytes;
     let ls = env.switch_idx(gs);
     let sw = &mut ctx.switches[ls];
-    let port = sw.routing.port_for(pkt.dst as usize, pkt.flow);
+    // Fault-free fast path: only a switch with a downed link pays for
+    // the enabled-port scan.
+    let port = if sw.n_disabled == 0 {
+        sw.routing.port_for(pkt.dst as usize, pkt.flow)
+    } else {
+        match sw
+            .routing
+            .port_for_enabled(pkt.dst as usize, pkt.flow, &sw.disabled_ports)
+        {
+            Some(p) => p,
+            None => {
+                // Every path to the destination is down (e.g. an edge
+                // down-link): the packet vanishes on this hop.
+                ctx.metrics.fault_drops += 1;
+                return;
+            }
+        }
+    };
     let class = (pkt.prio as usize).min(sw.classes - 1);
     let pa = sw.port_partition[port];
     let qidx = sw.queue_index(port, class);
     let wire = pkt.wire_bytes();
+    if sw.draining {
+        // Drain window: admission refused while the ports empty the
+        // buffer through the normal dequeue path.
+        record_fault_drop_in(sw, ctx.metrics, pa, now_ns);
+        return;
+    }
     let part = &mut sw.partitions[pa];
 
     match part.bm.admit(qidx, wire, &part.state) {
@@ -454,6 +503,15 @@ fn record_drop_in(sw: &Switch, metrics: &mut Metrics, pa: usize, now_ns: u64, th
     let util = part.state.total() as f64 / part.state.capacity() as f64;
     let membw = sw.membw_util(now_ns);
     metrics.record_drop(threshold, util, membw);
+}
+
+/// Records a fault-caused drop at a switch buffer (drain refusal,
+/// link-down flush) with the same utilization context.
+fn record_fault_drop_in(sw: &Switch, metrics: &mut Metrics, pa: usize, now_ns: u64) {
+    let part = &sw.partitions[pa];
+    let util = part.state.total() as f64 / part.state.capacity() as f64;
+    let membw = sw.membw_util(now_ns);
+    metrics.record_fault_drop(util, membw);
 }
 
 /// Removes the head packet of partition-local queue `qidx` without
@@ -564,6 +622,99 @@ fn try_expel_in<E: Env>(
                 }
             }
             return;
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Faults
+// -------------------------------------------------------------------
+
+/// Executes one scheduled fault from the world's fault table.
+///
+/// The switch-kind faults touch exactly one switch and the host-kind
+/// faults exactly one host plus the flows it sources (whose hot/cold
+/// halves live in the same domain), so in a parallel run each fault
+/// event stays inside its owning domain.
+fn fault_fire<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, fault: u32) {
+    ctx.metrics.faults_fired += 1;
+    let spec = ctx.faults[fault as usize];
+    match spec.kind {
+        FaultKind::LinkDown { switch, port } => {
+            let ls = env.switch_idx(switch);
+            let sw = &mut ctx.switches[ls];
+            let port = port as usize;
+            if !sw.disabled_ports[port] {
+                sw.disabled_ports[port] = true;
+                sw.n_disabled += 1;
+            }
+            // Packets already serializing or propagating still deliver;
+            // the hop's queued packets are lost with the link.
+            flush_port(sw, ctx.metrics, port, ps_to_ns(ctx.now));
+        }
+        FaultKind::LinkUp { switch, port } => {
+            let ls = env.switch_idx(switch);
+            let sw = &mut ctx.switches[ls];
+            let port = port as usize;
+            if sw.disabled_ports[port] {
+                sw.disabled_ports[port] = false;
+                sw.n_disabled -= 1;
+            }
+        }
+        FaultKind::SwitchDrainStart { switch } => {
+            ctx.switches[env.switch_idx(switch)].draining = true;
+        }
+        FaultKind::SwitchDrainEnd { switch } => {
+            ctx.switches[env.switch_idx(switch)].draining = false;
+        }
+        FaultKind::HostLeave { host } => {
+            let lh = env.host_idx(host);
+            let h = &mut ctx.hosts[lh];
+            h.alive = false;
+            let dropped = h.ack_queue.len() + h.cbr_queue.len();
+            h.ack_queue.clear();
+            h.cbr_queue.clear();
+            // `kill` clears each flow's host-queue flag, matching the
+            // cleared ready queue.
+            h.ready.clear();
+            ctx.metrics.fault_drops += dropped as u64;
+            let now = ctx.now;
+            for (i, f) in ctx.hot.iter_mut().enumerate() {
+                if f.src == host && f.started() && !f.done() && !f.killed() {
+                    f.kill();
+                    ctx.cold[i].first_interrupt_ps.get_or_insert(now);
+                }
+            }
+        }
+        FaultKind::HostJoin { host } => {
+            let lh = env.host_idx(host);
+            ctx.hosts[lh].alive = true;
+            for i in 0..ctx.hot.len() {
+                if ctx.hot[i].src == host && ctx.hot[i].killed() {
+                    ctx.hot[i].resume(ctx.consts);
+                    ctx.hosts[lh].mark_ready(ctx.hot, i as FlowId);
+                }
+            }
+            host_pump(ctx, env, host);
+        }
+    }
+}
+
+/// Drops every packet queued on `port` (all classes) when its link goes
+/// down, keeping the partition's occupancy accounting and BM state
+/// consistent and recording each loss with utilization context.
+fn flush_port(sw: &mut Switch, metrics: &mut Metrics, port: usize, now_ns: u64) {
+    let pa = sw.port_partition[port];
+    for class in 0..sw.classes {
+        let qidx = sw.queue_index(port, class);
+        while let Some(pkt) = sw.ports[port].queues[class].pop_front() {
+            let wire = pkt.wire_bytes();
+            let part = &mut sw.partitions[pa];
+            part.state
+                .dequeue(qidx, wire)
+                .expect("queue accounting out of sync");
+            part.bm.on_dequeue(qidx, wire, now_ns, &part.state);
+            record_fault_drop_in(sw, metrics, pa, now_ns);
         }
     }
 }

@@ -115,6 +115,13 @@ pub enum Event {
         /// Sampler index (into the world's sampler table).
         sampler: u32,
     },
+    /// Execute a scheduled fault (link flap / switch drain / host
+    /// churn). The index points into the world's immutable fault table
+    /// ([`crate::World::faults`]), so the event itself stays compact.
+    Fault {
+        /// Fault index (into the world's fault table).
+        fault: u32,
+    },
 }
 
 /// Slab of in-flight packets, recycled through a free list.

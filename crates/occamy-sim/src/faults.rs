@@ -1,0 +1,256 @@
+//! Deterministic fault injection: link flaps, switch drain and host
+//! churn as first-class simulation events.
+//!
+//! A fault schedule is declarative data ([`FaultSchedule`]) whose times
+//! are *fractions* of the run's workload window, so the same schedule
+//! scales with `--quick`/`--smoke` duration clamps. [`FaultSchedule::apply`]
+//! compiles it into [`FaultSpec`] entries on the world's immutable fault
+//! table plus `Event::Fault` events registered through the same deferred
+//! lane flow starts use — which is what keeps a faulted run byte-identical
+//! between the serial engine and the domain-decomposed parallel executor
+//! (each fault event is owned by exactly one domain: the switch's for
+//! link/drain faults, the host's for churn).
+//!
+//! Semantics (handled in `engine::fault_fire`):
+//!
+//! - **`LinkDown`** flushes the packets queued on that switch port
+//!   (counted as fault drops, with buffer/membw utilization context like
+//!   any other drop sample) and excludes the port from ECMP route
+//!   selection until the matching **`LinkUp`**. Packets already on the
+//!   wire still deliver — only the hop's queue and future routing are
+//!   affected. A packet whose only route is the downed port (an edge
+//!   down-link) is dropped and counted.
+//! - **`SwitchDrainStart`** stops the switch admitting new packets
+//!   (arrivals are dropped and counted) while its ports keep draining
+//!   the buffer through the normal `BufferManager` dequeue hooks;
+//!   **`SwitchDrainEnd`** restores admission.
+//! - **`HostLeave`** marks the host dead: its queued ACKs/CBR packets
+//!   are dropped, every flow it sources is killed (transport freeze; see
+//!   `FlowHot::kill`) and packets addressed to it are dropped on
+//!   arrival. **`HostJoin`** revives it and re-arms its sources
+//!   (`FlowHot::resume` + host pump), with transport recovering via the
+//!   existing RTO/TLP path.
+
+use crate::time::Ps;
+
+/// One fault event's kind. Indices are validated against the world when
+/// the fault is registered ([`crate::World::add_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Take one switch port's link down (flush + exclude from ECMP).
+    LinkDown {
+        /// Switch index.
+        switch: u32,
+        /// Port index on that switch.
+        port: u16,
+    },
+    /// Restore a downed link.
+    LinkUp {
+        /// Switch index.
+        switch: u32,
+        /// Port index on that switch.
+        port: u16,
+    },
+    /// Stop the switch admitting packets (buffer keeps draining).
+    SwitchDrainStart {
+        /// Switch index.
+        switch: u32,
+    },
+    /// Restore admission after a drain.
+    SwitchDrainEnd {
+        /// Switch index.
+        switch: u32,
+    },
+    /// Host leaves the fabric: kills its flows, drops its queues.
+    HostLeave {
+        /// Host index.
+        host: u32,
+    },
+    /// Host rejoins: revives it and re-arms its sources.
+    HostJoin {
+        /// Host index.
+        host: u32,
+    },
+}
+
+/// One scheduled fault: an absolute firing time plus its kind. Stored on
+/// the world's immutable fault table; `Event::Fault { fault }` indexes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Absolute firing time.
+    pub at: Ps,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// One link flap: the port goes down at `down` and back up at `up`
+/// (both fractions of the run's workload window, `0 ≤ down < up ≤ 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFlap {
+    /// Switch index.
+    pub switch: u32,
+    /// Port index on that switch.
+    pub port: u16,
+    /// Down time as a fraction of the workload window.
+    pub down: f64,
+    /// Restore time as a fraction of the workload window.
+    pub up: f64,
+}
+
+/// One switch drain window (fractions of the workload window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drain {
+    /// Switch index.
+    pub switch: u32,
+    /// Drain start as a fraction of the workload window.
+    pub start: f64,
+    /// Drain end as a fraction of the workload window.
+    pub end: f64,
+}
+
+/// One host churn cycle: leave at `leave`, rejoin at `join`
+/// (fractions of the workload window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostChurn {
+    /// Host index.
+    pub host: u32,
+    /// Leave time as a fraction of the workload window.
+    pub leave: f64,
+    /// Rejoin time as a fraction of the workload window.
+    pub join: f64,
+}
+
+/// A declarative fault schedule with duration-relative times. Scenario
+/// builders hold one of these (default: empty = pristine fabric) and
+/// call [`FaultSchedule::apply`] after injecting the workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// Link flaps.
+    pub link_flaps: Vec<LinkFlap>,
+    /// Switch drain windows.
+    pub drains: Vec<Drain>,
+    /// Host churn cycles.
+    pub host_churns: Vec<HostChurn>,
+}
+
+impl FaultSchedule {
+    /// Whether the schedule contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.link_flaps.is_empty() && self.drains.is_empty() && self.host_churns.is_empty()
+    }
+
+    /// Total fault events this schedule compiles into (two per entry).
+    pub fn n_events(&self) -> usize {
+        2 * (self.link_flaps.len() + self.drains.len() + self.host_churns.len())
+    }
+
+    /// Materializes the schedule onto `world`, resolving each fraction
+    /// against `duration_ps` (the workload window). Registration order
+    /// is fixed — flaps (down, up), drains (start, end), churns (leave,
+    /// join) — so equal-time faults tie-break deterministically by
+    /// insertion sequence in both the serial and parallel engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction is outside `0..=1`, an interval is not
+    /// strictly ordered, or an index is outside the world (via
+    /// [`crate::World::add_fault`]).
+    pub fn apply(&self, world: &mut crate::World, duration_ps: Ps) {
+        let at = |frac: f64, what: &str| -> Ps {
+            assert!(
+                (0.0..=1.0).contains(&frac),
+                "fault {what} fraction {frac} outside 0..=1"
+            );
+            (frac * duration_ps as f64).round() as Ps
+        };
+        for f in &self.link_flaps {
+            assert!(f.down < f.up, "link flap must go down before up");
+            world.add_fault(
+                at(f.down, "link down"),
+                FaultKind::LinkDown {
+                    switch: f.switch,
+                    port: f.port,
+                },
+            );
+            world.add_fault(
+                at(f.up, "link up"),
+                FaultKind::LinkUp {
+                    switch: f.switch,
+                    port: f.port,
+                },
+            );
+        }
+        for d in &self.drains {
+            assert!(d.start < d.end, "drain must start before it ends");
+            world.add_fault(
+                at(d.start, "drain start"),
+                FaultKind::SwitchDrainStart { switch: d.switch },
+            );
+            world.add_fault(
+                at(d.end, "drain end"),
+                FaultKind::SwitchDrainEnd { switch: d.switch },
+            );
+        }
+        for h in &self.host_churns {
+            assert!(h.leave < h.join, "host must leave before it rejoins");
+            world.add_fault(
+                at(h.leave, "host leave"),
+                FaultKind::HostLeave { host: h.host },
+            );
+            world.add_fault(
+                at(h.join, "host join"),
+                FaultKind::HostJoin { host: h.host },
+            );
+        }
+    }
+}
+
+/// Aggregated transport-recovery outcome of a finished run (built by
+/// [`crate::World::resilience`]): the per-flow counters summed, the
+/// fault counters copied from [`crate::Metrics`], and the recovery time
+/// of every interrupted-but-completed flow.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceCounters {
+    /// Retransmitted segments across all flows.
+    pub retransmissions: u64,
+    /// Full RTO firings across all flows.
+    pub rto_fires: u64,
+    /// Fault events executed.
+    pub faults_fired: u64,
+    /// Packets dropped because of faults (flushes, drains, dead hosts,
+    /// routes with no enabled port).
+    pub fault_drops: u64,
+    /// Flows still killed (source host never rejoined) at run end.
+    pub flows_killed: u64,
+    /// Flows that were interrupted (full RTO or kill) and still
+    /// completed.
+    pub flows_recovered: u64,
+    /// Per-flow recovery times (`end − first interrupt`) of the
+    /// recovered flows, in flow-id order.
+    pub recovery_times_ps: Vec<Ps>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_counts_and_emptiness() {
+        let mut s = FaultSchedule::default();
+        assert!(s.is_empty());
+        assert_eq!(s.n_events(), 0);
+        s.link_flaps.push(LinkFlap {
+            switch: 0,
+            port: 1,
+            down: 0.2,
+            up: 0.5,
+        });
+        s.host_churns.push(HostChurn {
+            host: 3,
+            leave: 0.1,
+            join: 0.9,
+        });
+        assert!(!s.is_empty());
+        assert_eq!(s.n_events(), 4);
+    }
+}

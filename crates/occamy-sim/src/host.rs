@@ -34,6 +34,10 @@ pub struct Host {
     pub link: HostLink,
     /// Whether the NIC is mid-serialization.
     pub tx_busy: bool,
+    /// Whether the host is attached to the fabric. A dead host (fault
+    /// injection's `HostLeave`) neither transmits nor receives until it
+    /// rejoins.
+    pub alive: bool,
     /// Pending ACKs (highest priority).
     pub ack_queue: VecDeque<Packet>,
     /// Pending raw CBR packets.
@@ -49,6 +53,7 @@ impl Host {
             id,
             link,
             tx_busy: false,
+            alive: true,
             ack_queue: VecDeque::new(),
             cbr_queue: VecDeque::new(),
             ready: VecDeque::new(),

@@ -57,6 +57,7 @@ mod cbr;
 mod config;
 mod engine;
 mod event;
+mod faults;
 mod host;
 mod metrics;
 mod packet;
@@ -73,6 +74,9 @@ mod world;
 pub use cbr::CbrSource;
 pub use config::SimConfig;
 pub use event::{Event, EventQueue, NodeId, PacketId};
+pub use faults::{
+    Drain, FaultKind, FaultSchedule, FaultSpec, HostChurn, LinkFlap, ResilienceCounters,
+};
 pub use host::{Host, HostLink};
 pub use metrics::{CbrCounters, DropCounters, Metrics, QueueSample, SampleLog};
 pub use packet::{FlowId, Packet, PacketKind, HDR_BYTES};

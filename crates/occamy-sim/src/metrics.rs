@@ -165,6 +165,13 @@ pub struct Metrics {
     /// Events executed by [`crate::World::step`] — the denominator of the
     /// simulator's events/sec throughput metric.
     pub events_processed: u64,
+    /// Fault events executed (link flaps, drains, host churn).
+    pub faults_fired: u64,
+    /// Packets dropped because of faults: port flushes on link-down,
+    /// drain-window arrivals, dead-host deliveries, routes with no
+    /// enabled port. Kept separate from [`DropCounters`] so `losses`
+    /// keeps meaning buffer-management drops.
+    pub fault_drops: u64,
 }
 
 impl Metrics {
@@ -175,6 +182,16 @@ impl Metrics {
         } else {
             self.drops.full_drops += 1;
         }
+        self.drop_buffer_util.push(buffer_util);
+        self.drop_membw_util.push(membw_util);
+    }
+
+    /// Records a fault-caused drop that happened *at a switch buffer*
+    /// (link-down flush, drain-window refusal) with the same utilization
+    /// context as an admission drop, so fault drops show up in the
+    /// Fig. 7-style utilization-at-drop series too.
+    pub fn record_fault_drop(&mut self, buffer_util: f64, membw_util: f64) {
+        self.fault_drops += 1;
         self.drop_buffer_util.push(buffer_util);
         self.drop_membw_util.push(membw_util);
     }

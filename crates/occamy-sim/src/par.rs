@@ -68,6 +68,7 @@ use std::sync::{Arc, Barrier, Mutex};
 use crate::cbr::CbrSource;
 use crate::engine::{execute_event, Ctx, Env};
 use crate::event::{Event, Key, NodeId, PacketId, PacketPool};
+use crate::faults::{FaultKind, FaultSpec};
 use crate::host::Host;
 use crate::metrics::{CbrCounters, Metrics};
 use crate::packet::{FlowId, Packet};
@@ -92,6 +93,11 @@ struct Plan {
     rx_loc: Vec<u32>,
     cbr_dom: Vec<u32>,
     cbr_loc: Vec<u32>,
+    /// Owning domain per fault-table entry: the switch's domain for
+    /// link/drain faults, the host's for churn (matching the state the
+    /// handler mutates — churn also touches the host's flows, whose
+    /// hot/cold halves live in the same domain).
+    fault_dom: Vec<u32>,
     /// Global flow ids per domain, in storage order (inverse of
     /// `flow_loc`, for translating host ready queues at merge).
     flow_gid: Vec<Vec<FlowId>>,
@@ -116,6 +122,7 @@ impl Plan {
             Event::HostTxFree { host } => self.host_dom[host as usize],
             Event::Rto { flow } | Event::FlowStart { flow } => self.flow_dom[flow as usize],
             Event::CbrEmit { source } => self.cbr_dom[source as usize],
+            Event::Fault { fault } => self.fault_dom[fault as usize],
             // Worlds with samplers never engage the parallel path.
             Event::Sample { .. } => unreachable!("samplers force serial execution"),
         }
@@ -360,6 +367,9 @@ pub(crate) fn run_parallel(world: &mut World, limit: Ps) -> ParStats {
     let workers = world.cfg.threads.min(nd).max(1);
     let cfg = world.cfg.clone();
     let consts = TransportConsts::new(&cfg);
+    // The fault table is immutable during the run: share one copy with
+    // every worker (events carry global indices into it).
+    let faults = world.faults.clone();
     let shards: Vec<Mutex<Shard>> = shards.into_iter().map(Mutex::new).collect();
     let hi_shared = AtomicU64::new(0);
     let done = AtomicBool::new(false);
@@ -377,7 +387,7 @@ pub(crate) fn run_parallel(world: &mut World, limit: Ps) -> ParStats {
         for w in 0..workers {
             let (shards, hi_shared, done) = (&shards, &hi_shared, &done);
             let (start, end) = (&start, &end);
-            let (cfg, consts) = (&cfg, &consts);
+            let (cfg, consts, faults) = (&cfg, &consts, &faults);
             s.spawn(move || loop {
                 start.wait();
                 if done.load(SeqCst) {
@@ -386,7 +396,7 @@ pub(crate) fn run_parallel(world: &mut World, limit: Ps) -> ParStats {
                 let hi = hi_shared.load(SeqCst);
                 for i in (w..nd).step_by(workers) {
                     let mut sh = shards[i].lock().unwrap();
-                    run_shard_window(&mut sh, hi, cfg, consts);
+                    run_shard_window(&mut sh, hi, cfg, consts, faults);
                 }
                 end.wait();
             });
@@ -462,6 +472,8 @@ pub(crate) fn run_parallel(world: &mut World, limit: Ps) -> ParStats {
         world.metrics.delivered_pkts += m.delivered_pkts;
         world.metrics.delivered_bytes += m.delivered_bytes;
         world.metrics.events_processed += m.events_processed;
+        world.metrics.faults_fired += m.faults_fired;
+        world.metrics.fault_drops += m.fault_drops;
         for (acc, c) in world.metrics.cbr.iter_mut().zip(&m.cbr) {
             acc.sent_pkts += c.sent_pkts;
             acc.sent_bytes += c.sent_bytes;
@@ -504,6 +516,17 @@ fn build_plan(world: &World, dm: &crate::topology::DomainMap) -> Plan {
         .map(|f| host_dom[f.dst as usize])
         .collect();
     let cbr_dom: Vec<u32> = world.cbrs.iter().map(|c| host_dom[c.host]).collect();
+    let fault_dom: Vec<u32> = world
+        .faults
+        .iter()
+        .map(|f| match f.kind {
+            FaultKind::LinkDown { switch, .. }
+            | FaultKind::LinkUp { switch, .. }
+            | FaultKind::SwitchDrainStart { switch }
+            | FaultKind::SwitchDrainEnd { switch } => sw_dom[switch as usize],
+            FaultKind::HostLeave { host } | FaultKind::HostJoin { host } => host_dom[host as usize],
+        })
+        .collect();
     let flow_loc = local(&flow_dom);
     let mut flow_gid = vec![Vec::new(); nd];
     for (f, &d) in flow_dom.iter().enumerate() {
@@ -520,6 +543,7 @@ fn build_plan(world: &World, dm: &crate::topology::DomainMap) -> Plan {
         flow_dom,
         rx_dom,
         cbr_dom,
+        fault_dom,
         flow_gid,
     }
 }
@@ -551,7 +575,13 @@ fn reassemble<T>(
 /// main (concrete-key) and staged (pending-key) lanes in serial order:
 /// by time, main before staged on ties (assigned sequence numbers are
 /// always smaller than pending ones), staged by push index.
-fn run_shard_window(shard: &mut Shard, hi: Ps, cfg: &SimConfig, consts: &TransportConsts) {
+fn run_shard_window(
+    shard: &mut Shard,
+    hi: Ps,
+    cfg: &SimConfig,
+    consts: &TransportConsts,
+    faults: &[FaultSpec],
+) {
     let Shard {
         store,
         main,
@@ -569,6 +599,7 @@ fn run_shard_window(shard: &mut Shard, hi: Ps, cfg: &SimConfig, consts: &Transpo
         rx: &mut store.rx,
         cbrs: &mut store.cbrs,
         samplers: &[],
+        faults,
         metrics: &mut store.metrics,
     };
     loop {

@@ -40,6 +40,29 @@ impl RoutingTable {
         set[(ecmp_hash(flow) % set.len() as u64) as usize] as usize
     }
 
+    /// Egress port toward `dst` for `flow`, skipping ports marked in
+    /// `disabled` (indexed by global port number). Returns `None` when
+    /// every candidate is disabled — e.g. an edge down-link that is the
+    /// only path to the host.
+    ///
+    /// Hashes over the *enabled-candidate count*, so with no port
+    /// disabled it selects exactly like [`RoutingTable::port_for`]. The
+    /// caller keeps the fault-free fast path by only calling this when
+    /// the switch has at least one disabled port.
+    pub fn port_for_enabled(&self, dst: usize, flow: FlowId, disabled: &[bool]) -> Option<usize> {
+        let set = &self.candidates[dst];
+        assert!(!set.is_empty(), "no route to host {dst}");
+        let n = set.iter().filter(|&&p| !disabled[p as usize]).count();
+        if n == 0 {
+            return None;
+        }
+        let k = (ecmp_hash(flow) % n as u64) as usize;
+        set.iter()
+            .filter(|&&p| !disabled[p as usize])
+            .nth(k)
+            .map(|&p| p as usize)
+    }
+
     /// The raw candidate set (used by tests and diagnostics).
     pub fn candidates(&self, dst: usize) -> &[u16] {
         &self.candidates[dst]
@@ -95,6 +118,32 @@ mod tests {
     fn missing_route_panics() {
         let rt = RoutingTable::new(vec![vec![]]);
         rt.port_for(0, 1);
+    }
+
+    #[test]
+    fn enabled_selection_matches_port_for_when_nothing_disabled() {
+        let rt = RoutingTable::new(vec![vec![0, 1, 2, 3]]);
+        let disabled = vec![false; 4];
+        for f in 0..100 {
+            assert_eq!(
+                rt.port_for_enabled(0, f, &disabled),
+                Some(rt.port_for(0, f))
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_ports_are_excluded() {
+        let rt = RoutingTable::new(vec![vec![0, 1, 2, 3]]);
+        let mut disabled = vec![false; 4];
+        disabled[2] = true;
+        for f in 0..1_000 {
+            let p = rt.port_for_enabled(0, f, &disabled).unwrap();
+            assert_ne!(p, 2);
+        }
+        // All candidates down ⇒ no route.
+        let all = vec![true; 4];
+        assert_eq!(rt.port_for_enabled(0, 7, &all), None);
     }
 
     #[test]

@@ -70,6 +70,15 @@ pub struct Switch {
     pub classes: usize,
     /// Static routing table.
     pub routing: RoutingTable,
+    /// Per-port link-down marks (fault injection); indexed by global
+    /// port number, consulted by ECMP only when `n_disabled > 0`.
+    pub disabled_ports: Vec<bool>,
+    /// Number of `true` entries in `disabled_ports` — the fault-free
+    /// fast-path guard.
+    pub n_disabled: u32,
+    /// Whether the switch is mid-drain: arrivals refused, buffer
+    /// emptying through the normal dequeue path.
+    pub draining: bool,
     /// EWMA of bytes written into the buffer (memory write bandwidth).
     pub write_rate: RateEstimator,
     /// EWMA of bytes read out of the cell data memory.
@@ -150,6 +159,9 @@ mod tests {
             port_local,
             classes,
             routing: RoutingTable::new(vec![vec![0]]),
+            disabled_ports: vec![false; n_ports],
+            n_disabled: 0,
+            draining: false,
             write_rate: RateEstimator::new(10_000, 0.0),
             read_rate: RateEstimator::new(10_000, 0.0),
             total_membw_bps: 2.0 * 10e9 * n_ports as f64,

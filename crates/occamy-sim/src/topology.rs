@@ -218,6 +218,9 @@ pub fn single_switch(c: SingleSwitchCfg) -> World {
         port_local: (0..n).collect(),
         classes: c.classes,
         routing,
+        disabled_ports: vec![false; n],
+        n_disabled: 0,
+        draining: false,
         write_rate: RateEstimator::new(10_000, 0.0),
         read_rate: RateEstimator::new(10_000, 0.0),
         total_membw_bps: 2.0 * total_rate as f64,
@@ -892,6 +895,9 @@ fn assemble_switch(
         port_local,
         classes: c.classes,
         routing,
+        disabled_ports: vec![false; n],
+        n_disabled: 0,
+        draining: false,
         write_rate: RateEstimator::new(10_000, 0.0),
         read_rate: RateEstimator::new(10_000, 0.0),
         total_membw_bps: 2.0 * total_rate as f64,

@@ -103,6 +103,9 @@ mod flag {
     pub const RETX_PENDING: u8 = 1 << 3;
     pub const IN_RECOVERY: u8 = 1 << 4;
     pub const DONE: u8 = 1 << 5;
+    /// Source host left the fabric (fault injection): the flow is
+    /// frozen until a `HostJoin` resumes it.
+    pub const KILLED: u8 = 1 << 6;
 }
 
 /// The per-ACK sender state of one flow: everything `on_ack`,
@@ -143,6 +146,13 @@ pub struct FlowHot {
     acked_bytes: f64,
     window_end: u64,
     cwr_end: u64,
+    /// Highest byte offset ever emitted; segments ending at or below it
+    /// are retransmissions (TLP probes, fast retransmits, go-back-N).
+    high_water: u64,
+    /// Retransmitted segments emitted (resilience metric).
+    retx_pkts: u32,
+    /// Full retransmission timeouts fired (probes excluded).
+    rto_fires: u32,
 }
 
 /// The sender-side state the per-ACK path does not read: CUBIC epoch
@@ -158,6 +168,10 @@ pub struct FlowCold {
     pub start_ps: Ps,
     /// Completion time (last byte ACKed), if finished.
     pub end_ps: Option<Ps>,
+    /// First moment the transfer was interrupted — the first full RTO
+    /// or host-leave kill. `end_ps − first_interrupt_ps` is the flow's
+    /// recovery time when it still completes.
+    pub first_interrupt_ps: Option<Ps>,
     // CUBIC.
     w_max: f64,
     epoch_start: Option<Ps>,
@@ -215,6 +229,9 @@ impl FlowHot {
             acked_bytes: 0.0,
             window_end: 0,
             cwr_end: 0,
+            high_water: 0,
+            retx_pkts: 0,
+            rto_fires: 0,
         }
     }
 
@@ -270,6 +287,51 @@ impl FlowHot {
     /// Whether the flow has delivered (and had ACKed) every byte.
     pub fn done(&self) -> bool {
         self.flag(flag::DONE)
+    }
+
+    /// Whether the flow is frozen because its source host left the
+    /// fabric (fault injection).
+    pub fn killed(&self) -> bool {
+        self.flag(flag::KILLED)
+    }
+
+    /// Freezes the flow when its source host leaves: it stops sending
+    /// and ignores ACKs and timers until [`FlowHot::resume`].
+    pub fn kill(&mut self) {
+        self.set_flag(flag::KILLED, true);
+        self.set_flag(flag::IN_HOST_QUEUE, false);
+        self.set_flag(flag::RETX_PENDING, false);
+        self.set_flag(flag::IN_RECOVERY, false);
+    }
+
+    /// Re-arms a killed flow when its source host rejoins: fresh
+    /// congestion state, transmission restarting from `snd_una` (the
+    /// receiver's reassembly state is still valid, so duplicate bytes
+    /// deduplicate and the transfer completes with exact byte counts).
+    pub fn resume(&mut self, c: &TransportConsts) {
+        self.set_flag(flag::KILLED, false);
+        if self.done() {
+            return;
+        }
+        self.cwnd = c.init_cwnd;
+        self.ssthresh = f64::MAX;
+        self.dup_acks = 0;
+        self.backoff = 0;
+        self.probes_sent = 0;
+        self.snd_nxt = self.snd_una;
+        self.window_end = self.snd_nxt;
+        self.ce_bytes = 0.0;
+        self.acked_bytes = 0.0;
+    }
+
+    /// Retransmitted segments emitted so far (resilience metric).
+    pub fn retransmissions(&self) -> u64 {
+        self.retx_pkts as u64
+    }
+
+    /// Full retransmission timeouts fired so far (probes excluded).
+    pub fn rto_fires(&self) -> u64 {
+        self.rto_fires as u64
     }
 
     /// Congestion window in bytes (diagnostics).
@@ -337,6 +399,7 @@ impl FlowHot {
             self.set_flag(flag::RETX_PENDING, true);
             false
         } else {
+            self.rto_fires += 1;
             self.on_rto(cold, c);
             true
         }
@@ -344,9 +407,10 @@ impl FlowHot {
 
     /// Whether the sender may emit a segment right now.
     pub fn can_send(&self) -> bool {
-        // One branch for the common blockers: finished, unstarted, or
-        // no retransmission pending (then window/backlog decide).
-        if self.flags & (flag::DONE | flag::STARTED) != flag::STARTED {
+        // One branch for the common blockers: finished, unstarted,
+        // killed, or no retransmission pending (then window/backlog
+        // decide).
+        if self.flags & (flag::DONE | flag::STARTED | flag::KILLED) != flag::STARTED {
             return false;
         }
         if self.flag(flag::RETX_PENDING) {
@@ -372,6 +436,14 @@ impl FlowHot {
             self.snd_nxt += len;
             (seq, len)
         };
+        // Segment boundaries are MSS-aligned, so "ends at or below the
+        // high-water mark" classifies every resend exactly.
+        let end = seq + len;
+        if end <= self.high_water {
+            self.retx_pkts += 1;
+        } else {
+            self.high_water = end;
+        }
         Packet::data(self.id, self.src, self.dst, seq, len as u32, self.prio, now)
     }
 
@@ -387,7 +459,7 @@ impl FlowHot {
         now: Ps,
         c: &TransportConsts,
     ) -> bool {
-        if self.done() {
+        if self.flags & (flag::DONE | flag::KILLED) != 0 {
             return false;
         }
         if ack > self.snd_una {
@@ -1052,6 +1124,76 @@ mod tests {
         assert!(!f.can_send());
         f.hot.set_started(true);
         assert!(f.can_send());
+    }
+
+    #[test]
+    fn retransmissions_and_rto_fires_are_counted() {
+        let c = consts();
+        let mut f = flow(1_000_000, CcAlgo::Dctcp);
+        let mut pkts = Vec::new();
+        while f.can_send() {
+            pkts.push(f.next_segment(0, &c));
+        }
+        assert_eq!(f.hot.retransmissions(), 0, "fresh data is not a retx");
+        // Fast retransmit via three dupacks: one counted resend.
+        for p in &pkts[1..4] {
+            let ack = f.on_data(p.seq, p.len as u64);
+            f.on_ack(ack, false, p.ts, 10 * US, &c);
+        }
+        let rtx = f.next_segment(11 * US, &c);
+        assert_eq!(rtx.seq, 0);
+        assert_eq!(f.hot.retransmissions(), 1);
+        // Exhaust the probes, then a full RTO; the go-back-N resend of
+        // already-sent bytes counts as retransmissions too.
+        assert_eq!(f.hot.rto_fires(), 0);
+        while !f.hot.on_timer(&mut f.cold, &c) {}
+        assert_eq!(f.hot.rto_fires(), 1);
+        let before = f.hot.retransmissions();
+        let p = f.next_segment(MS, &c);
+        assert_eq!(p.seq, 0);
+        assert!(f.hot.retransmissions() > before);
+    }
+
+    #[test]
+    fn kill_freezes_and_resume_restarts() {
+        let c = consts();
+        let mut f = flow(1_000_000, CcAlgo::Dctcp);
+        let mut pkts = Vec::new();
+        while f.can_send() {
+            pkts.push(f.next_segment(0, &c));
+        }
+        let una_before = f.hot.inflight();
+        assert!(una_before > 0);
+        f.hot.kill();
+        assert!(f.hot.killed());
+        assert!(!f.can_send(), "killed flows must not send");
+        // ACKs for in-flight data are ignored while killed.
+        let ack = f.on_data(pkts[0].seq, pkts[0].len as u64);
+        f.on_ack(ack, false, pkts[0].ts, 10 * US, &c);
+        assert_eq!(f.hot.inflight(), una_before, "killed flow ignored ack");
+        // Resume restarts from snd_una with a fresh window.
+        f.hot.resume(&c);
+        assert!(!f.hot.killed());
+        assert_eq!(f.hot.inflight(), 0, "resume rewinds snd_nxt to snd_una");
+        assert!(f.can_send());
+        let p = f.next_segment(MS, &c);
+        assert_eq!(p.seq, 0, "resend starts at the unacked head");
+        assert_eq!(f.hot.cwnd(), c.init_cwnd);
+        // The whole transfer still completes with exact byte counts.
+        run_lossless(&mut f, 100 * US);
+        assert!(f.done());
+    }
+
+    #[test]
+    fn resume_after_done_is_a_noop() {
+        let c = consts();
+        let mut f = flow(2_000, CcAlgo::Dctcp);
+        run_lossless(&mut f, 100 * US);
+        assert!(f.done());
+        f.hot.kill();
+        f.hot.resume(&c);
+        assert!(f.done());
+        assert!(!f.can_send());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::cbr::CbrSource;
 use crate::engine;
 use crate::event::{Event, EventQueue};
+use crate::faults::{FaultKind, FaultSpec, ResilienceCounters};
 use crate::host::Host;
 use crate::metrics::{CbrCounters, Metrics};
 use crate::packet::FlowId;
@@ -91,6 +92,9 @@ pub struct World {
     pub cbrs: Vec<CbrSource>,
     /// Registered queue samplers.
     pub(crate) samplers: Vec<SamplerSpec>,
+    /// Scheduled faults, in registration order (`Event::Fault` payloads
+    /// index into this table; immutable once the loop starts).
+    pub(crate) faults: Vec<FaultSpec>,
     /// Collected measurements.
     pub metrics: Metrics,
     /// Event-domain partition exported by the topology builder, if any
@@ -124,6 +128,7 @@ impl World {
             flows: FlowTable::default(),
             cbrs: Vec::new(),
             samplers: Vec::new(),
+            faults: Vec::new(),
             metrics: Metrics::default(),
             domains: None,
             par_stats: None,
@@ -195,6 +200,51 @@ impl World {
         self.events.push_deferred(0, Event::Sample { sampler });
     }
 
+    /// Schedules one fault at absolute time `at` (usually via
+    /// [`crate::FaultSchedule::apply`], which resolves duration-relative
+    /// fractions). Registration order is the deterministic tie-break for
+    /// equal-time faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault references a switch, port or host outside
+    /// this world.
+    pub fn add_fault(&mut self, at: Ps, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDown { switch, port } | FaultKind::LinkUp { switch, port } => {
+                let sw = self
+                    .switches
+                    .get(switch as usize)
+                    .unwrap_or_else(|| panic!("fault references unknown switch {switch}"));
+                assert!(
+                    (port as usize) < sw.ports.len(),
+                    "fault references port {port} outside switch {switch} ({} ports)",
+                    sw.ports.len()
+                );
+            }
+            FaultKind::SwitchDrainStart { switch } | FaultKind::SwitchDrainEnd { switch } => {
+                assert!(
+                    (switch as usize) < self.switches.len(),
+                    "fault references unknown switch {switch}"
+                );
+            }
+            FaultKind::HostLeave { host } | FaultKind::HostJoin { host } => {
+                assert!(
+                    (host as usize) < self.hosts.len(),
+                    "fault references unknown host {host}"
+                );
+            }
+        }
+        let fault = self.faults.len() as u32;
+        self.faults.push(FaultSpec { at, kind });
+        self.events.push_deferred(at, Event::Fault { fault });
+    }
+
+    /// The scheduled fault table, in registration order.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
     // ---------------------------------------------------------------
     // Execution
     // ---------------------------------------------------------------
@@ -220,6 +270,7 @@ impl World {
             flows,
             cbrs,
             samplers,
+            faults,
             metrics,
             ..
         } = self;
@@ -234,6 +285,7 @@ impl World {
             rx: flows.rx.as_mut_slice(),
             cbrs,
             samplers,
+            faults,
             metrics,
         };
         engine::execute_event(&mut ctx, events, t, ev);
@@ -255,6 +307,7 @@ impl World {
             flows,
             cbrs,
             samplers,
+            faults,
             metrics,
             ..
         } = self;
@@ -269,6 +322,7 @@ impl World {
             rx: flows.rx.as_mut_slice(),
             cbrs,
             samplers,
+            faults,
             metrics,
         };
         while let Some((at, ev)) = events.pop_at_most(limit) {
@@ -314,6 +368,30 @@ impl World {
     /// Whether all transport flows completed.
     pub fn all_flows_done(&self) -> bool {
         self.flows.hot.iter().all(|f| f.done())
+    }
+
+    /// Aggregates the transport-recovery outcome of a finished run:
+    /// per-flow retransmission/RTO counters, the fault counters, kill /
+    /// recovery tallies and per-flow recovery times (in flow-id order,
+    /// so the result is deterministic).
+    pub fn resilience(&self) -> ResilienceCounters {
+        let mut r = ResilienceCounters {
+            faults_fired: self.metrics.faults_fired,
+            fault_drops: self.metrics.fault_drops,
+            ..ResilienceCounters::default()
+        };
+        for (hot, cold) in self.flows.hot.iter().zip(&self.flows.cold) {
+            r.retransmissions += hot.retransmissions();
+            r.rto_fires += hot.rto_fires();
+            if hot.killed() {
+                r.flows_killed += 1;
+            }
+            if let (Some(first), Some(end)) = (cold.first_interrupt_ps, cold.end_ps) {
+                r.flows_recovered += 1;
+                r.recovery_times_ps.push(end.saturating_sub(first));
+            }
+        }
+        r
     }
 
     /// Exports flow completion records for analysis.

@@ -2,7 +2,7 @@
 //! round-trips to an identical [`SpecDoc`], which is what the spec
 //! round-trip tests pin down.
 
-use crate::model::{Num, QuerySize, SpecDoc, TopologyKind};
+use crate::model::{FaultClause, Num, QuerySize, SpecDoc, TopologyKind};
 use std::fmt::Write as _;
 
 fn esc(s: &str) -> String {
@@ -130,6 +130,36 @@ impl SpecDoc {
             let _ = writeln!(w, "threads = {}", s.threads);
         }
 
+        for f in &self.faults {
+            let _ = writeln!(w, "\n[[faults]]");
+            match f {
+                FaultClause::LinkFlap {
+                    switch,
+                    port,
+                    down,
+                    up,
+                } => {
+                    let _ = writeln!(w, "kind = \"link_flap\"");
+                    let _ = writeln!(w, "switch = {switch}");
+                    let _ = writeln!(w, "port = {port}");
+                    let _ = writeln!(w, "down = {down:?}");
+                    let _ = writeln!(w, "up = {up:?}");
+                }
+                FaultClause::Drain { switch, start, end } => {
+                    let _ = writeln!(w, "kind = \"drain\"");
+                    let _ = writeln!(w, "switch = {switch}");
+                    let _ = writeln!(w, "start = {start:?}");
+                    let _ = writeln!(w, "end = {end:?}");
+                }
+                FaultClause::HostChurn { host, leave, join } => {
+                    let _ = writeln!(w, "kind = \"host_churn\"");
+                    let _ = writeln!(w, "host = {host}");
+                    let _ = writeln!(w, "leave = {leave:?}");
+                    let _ = writeln!(w, "join = {join:?}");
+                }
+            }
+        }
+
         if !self.grid.is_empty() {
             let _ = writeln!(w, "\n[grid]");
             for a in &self.grid {
@@ -189,6 +219,19 @@ use = ["Occamy", "DT"]
 
 [schemes.alpha]
 Occamy = 4.0
+
+[[faults]]
+kind = "link_flap"
+switch = 0
+port = 0
+down = 0.2
+up = 0.5
+
+[[faults]]
+kind = "host_churn"
+host = 0
+leave = 0.3
+join = 0.6
 
 [grid]
 oversubscription = { full = [1.0, 2.0, 4.0], smoke = [2.0] }

@@ -34,8 +34,9 @@ mod value;
 
 pub use error::{Result, SpecError};
 pub use model::{
-    default_alpha, AxisSpec, Background, Num, QuerySize, SchemesSpec, SimSpec, SpecDoc, TableSpec,
-    TopologyKind, TopologySection, TrafficSpec, BACKGROUNDS, KNOBS, METRICS, SCHEMES, TOPOLOGIES,
+    default_alpha, AxisSpec, Background, FaultClause, Num, QuerySize, SchemesSpec, SimSpec,
+    SpecDoc, TableSpec, TopologyKind, TopologySection, TrafficSpec, BACKGROUNDS, FAULT_KINDS,
+    KNOBS, METRICS, SCHEMES, TOPOLOGIES,
 };
 pub use value::Value;
 

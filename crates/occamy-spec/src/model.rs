@@ -99,7 +99,18 @@ pub const METRICS: &[&str] = &[
     "losses",
     "unfinished",
     "events",
+    "retransmissions",
+    "rto_fires",
+    "faults_fired",
+    "fault_drops",
+    "flows_killed",
+    "flows_recovered",
+    "recovery_ms_avg",
+    "recovery_ms_p99",
 ];
+
+/// Fault kinds a `[[faults]]` clause may declare.
+pub const FAULT_KINDS: &[&str] = &["link_flap", "drain", "host_churn"];
 
 /// One numeric axis value (integers and floats are kept distinct so
 /// grids render `20`, not `20.0`, exactly like the hand-coded figures).
@@ -160,6 +171,84 @@ impl TopologyKind {
             TopologyKind::LeafSpine { .. } => "leaf_spine",
             TopologyKind::FatTree { .. } => "fat_tree",
             TopologyKind::ThreeTier { .. } => "three_tier",
+        }
+    }
+
+    /// Total host count of the built fabric (the `occamy-sim` builders'
+    /// numbering).
+    pub fn n_hosts(&self) -> usize {
+        match *self {
+            TopologyKind::LeafSpine {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+            TopologyKind::FatTree { k } => k * k * k / 4,
+            TopologyKind::ThreeTier {
+                pods,
+                access_per_pod,
+                hosts_per_access,
+                ..
+            } => pods * access_per_pod * hosts_per_access,
+        }
+    }
+
+    /// Total switch count of the built fabric.
+    pub fn n_switches(&self) -> usize {
+        match *self {
+            TopologyKind::LeafSpine { spines, leaves, .. } => leaves + spines,
+            TopologyKind::FatTree { k } => k * k + (k / 2) * (k / 2),
+            TopologyKind::ThreeTier {
+                pods,
+                access_per_pod,
+                aggs_per_pod,
+                cores,
+                ..
+            } => pods * (access_per_pod + aggs_per_pod) + cores,
+        }
+    }
+
+    /// Egress-port count of switch `s`, following the builders' switch
+    /// numbering (leaf/edge/access switches first, then spines /
+    /// aggregations, then cores). Used to validate `[[faults]]` port
+    /// indices at load time, so a loadable spec never panics mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is outside the fabric (callers check
+    /// [`TopologyKind::n_switches`] first).
+    pub fn n_ports(&self, s: usize) -> usize {
+        assert!(s < self.n_switches(), "switch {s} outside the fabric");
+        match *self {
+            TopologyKind::LeafSpine {
+                spines,
+                leaves,
+                hosts_per_leaf,
+            } => {
+                if s < leaves {
+                    hosts_per_leaf + spines
+                } else {
+                    leaves
+                }
+            }
+            // Edge, aggregation and core switches of a k-ary fat-tree
+            // all have k ports.
+            TopologyKind::FatTree { k } => k,
+            TopologyKind::ThreeTier {
+                pods,
+                access_per_pod,
+                aggs_per_pod,
+                cores,
+                hosts_per_access,
+            } => {
+                if s < pods * access_per_pod {
+                    hosts_per_access + aggs_per_pod
+                } else if s < pods * (access_per_pod + aggs_per_pod) {
+                    access_per_pod + cores
+                } else {
+                    pods * aggs_per_pod
+                }
+            }
         }
     }
 }
@@ -311,6 +400,46 @@ pub struct TableSpec {
     pub csv: Option<String>,
 }
 
+/// One `[[faults]]` clause: a deterministic fault whose times are
+/// fractions of the workload window (`duration_ms`), so the same
+/// schedule scales with `--quick`/`--smoke` duration clamps. Indices
+/// follow the `occamy-sim` builder numbering and are validated against
+/// the `[topology]` section at load time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultClause {
+    /// `kind = "link_flap"`: `switch`'s `port` goes down at `down` and
+    /// back up at `up`.
+    LinkFlap {
+        /// Switch index.
+        switch: u64,
+        /// Port index on that switch.
+        port: u64,
+        /// Down time as a fraction of the workload window.
+        down: f64,
+        /// Restore time as a fraction of the workload window.
+        up: f64,
+    },
+    /// `kind = "drain"`: the switch stops admitting in `[start, end)`.
+    Drain {
+        /// Switch index.
+        switch: u64,
+        /// Drain start as a fraction of the workload window.
+        start: f64,
+        /// Drain end as a fraction of the workload window.
+        end: f64,
+    },
+    /// `kind = "host_churn"`: the host leaves at `leave`, rejoins at
+    /// `join`.
+    HostChurn {
+        /// Host index.
+        host: u64,
+        /// Leave time as a fraction of the workload window.
+        leave: f64,
+        /// Rejoin time as a fraction of the workload window.
+        join: f64,
+    },
+}
+
 /// A fully validated scenario spec.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpecDoc {
@@ -330,6 +459,8 @@ pub struct SpecDoc {
     pub schemes: SchemesSpec,
     /// Engine parameters.
     pub sim: SimSpec,
+    /// Deterministic fault schedule (empty = pristine fabric).
+    pub faults: Vec<FaultClause>,
     /// Extra sweep axes (the scheme axis is implicit and last).
     pub grid: Vec<AxisSpec>,
     /// Report tables (when empty the binder emits a default table per
@@ -712,6 +843,117 @@ fn parse_grid(doc: &Value) -> Result<Vec<AxisSpec>> {
     Ok(axes)
 }
 
+/// A fraction of the workload window: finite, in `0..=1`.
+fn fraction(ctx: &str, key: &str, v: f64) -> Result<f64> {
+    if (0.0..=1.0).contains(&v) {
+        Ok(v)
+    } else {
+        Err(SpecError::new(format!(
+            "'{key}' must be a fraction of the workload window in 0..=1 (got {v})"
+        ))
+        .in_context(ctx))
+    }
+}
+
+/// A required key of a fault clause (faults have no sensible defaults).
+fn require<'v>(ctx: &str, t: &'v Value, key: &str) -> Result<&'v Value> {
+    t.get(key)
+        .ok_or_else(|| SpecError::new(format!("missing '{key}'")).in_context(ctx))
+}
+
+fn parse_faults(doc: &Value, topo: &TopologySection) -> Result<Vec<FaultClause>> {
+    let Some(f) = doc.get("faults") else {
+        return Ok(Vec::new());
+    };
+    let arr = f
+        .as_array()
+        .map_err(|_| SpecError::new("faults must be an array of tables ([[faults]])"))?;
+    let check_switch = |ctx: &str, s: u64| -> Result<u64> {
+        let n = topo.kind.n_switches();
+        if (s as usize) < n {
+            Ok(s)
+        } else {
+            Err(SpecError::new(format!(
+                "'switch' {s} outside the {} fabric ({n} switches)",
+                topo.kind.name()
+            ))
+            .in_context(ctx))
+        }
+    };
+    let mut out = Vec::new();
+    for (i, t) in arr.iter().enumerate() {
+        let ctx = &format!("[[faults]] #{}", i + 1);
+        let kind = require(ctx, t, "kind")?
+            .as_str()
+            .map_err(|e| e.in_context(ctx))?;
+        let clause = match kind {
+            "link_flap" => {
+                check_keys(ctx, t, &["kind", "switch", "port", "down", "up"])?;
+                let switch = check_switch(ctx, require(ctx, t, "switch")?.as_u64()?)?;
+                let port = require(ctx, t, "port")?.as_u64()?;
+                let n_ports = topo.kind.n_ports(switch as usize);
+                if port as usize >= n_ports {
+                    return Err(SpecError::new(format!(
+                        "'port' {port} outside switch {switch} ({n_ports} ports)"
+                    ))
+                    .in_context(ctx));
+                }
+                let down = fraction(ctx, "down", require(ctx, t, "down")?.as_f64()?)?;
+                let up = fraction(ctx, "up", require(ctx, t, "up")?.as_f64()?)?;
+                if down >= up {
+                    return Err(SpecError::new(format!(
+                        "the link must go down before it comes up (down = {down}, up = {up})"
+                    ))
+                    .in_context(ctx));
+                }
+                FaultClause::LinkFlap {
+                    switch,
+                    port,
+                    down,
+                    up,
+                }
+            }
+            "drain" => {
+                check_keys(ctx, t, &["kind", "switch", "start", "end"])?;
+                let switch = check_switch(ctx, require(ctx, t, "switch")?.as_u64()?)?;
+                let start = fraction(ctx, "start", require(ctx, t, "start")?.as_f64()?)?;
+                let end = fraction(ctx, "end", require(ctx, t, "end")?.as_f64()?)?;
+                if start >= end {
+                    return Err(SpecError::new(format!(
+                        "the drain must start before it ends (start = {start}, end = {end})"
+                    ))
+                    .in_context(ctx));
+                }
+                FaultClause::Drain { switch, start, end }
+            }
+            "host_churn" => {
+                check_keys(ctx, t, &["kind", "host", "leave", "join"])?;
+                let host = require(ctx, t, "host")?.as_u64()?;
+                let n = topo.kind.n_hosts();
+                if host as usize >= n {
+                    return Err(SpecError::new(format!(
+                        "'host' {host} outside the {} fabric ({n} hosts)",
+                        topo.kind.name()
+                    ))
+                    .in_context(ctx));
+                }
+                let leave = fraction(ctx, "leave", require(ctx, t, "leave")?.as_f64()?)?;
+                let join = fraction(ctx, "join", require(ctx, t, "join")?.as_f64()?)?;
+                if leave >= join {
+                    return Err(SpecError::new(format!(
+                        "the host must leave before it rejoins (leave = {leave}, join = {join})"
+                    ))
+                    .in_context(ctx));
+                }
+                FaultClause::HostChurn { host, leave, join }
+            }
+            other => return Err(SpecError::unknown("fault kind", other, FAULT_KINDS)),
+        };
+        out.push(clause);
+    }
+    Ok(out)
+}
+
 fn parse_emit(doc: &Value, grid: &[AxisSpec]) -> Result<Vec<TableSpec>> {
     let Some(e) = doc.get("emit") else {
         return Ok(Vec::new());
@@ -786,6 +1028,7 @@ impl SpecDoc {
                 "traffic",
                 "schemes",
                 "sim",
+                "faults",
                 "grid",
                 "emit",
             ],
@@ -815,14 +1058,17 @@ impl SpecDoc {
         let grid = parse_grid(doc)?;
         let traffic = parse_traffic(doc)?;
         check_grid_applies(&grid, &traffic)?;
+        let topology = parse_topology(doc)?;
+        let faults = parse_faults(doc, &topology)?;
         Ok(SpecDoc {
             name,
             description,
             seed_key,
-            topology: parse_topology(doc)?,
+            topology,
             traffic,
             schemes: parse_schemes(doc)?,
             sim: parse_sim(doc)?,
+            faults,
             emit: parse_emit(doc, &grid)?,
             grid,
         })
@@ -1081,6 +1327,103 @@ metric = "qct_slowdown_avg"
         )
         .unwrap_err();
         assert!(e.message().contains("even"), "{e}");
+    }
+
+    #[test]
+    fn faults_parse_and_validate() {
+        let doc = SpecDoc::from_value(
+            &toml::parse(
+                r#"
+name = "x"
+[topology]
+kind = "fat_tree"
+k = 4
+[[faults]]
+kind = "link_flap"
+switch = 2
+port = 3
+down = 0.2
+up = 0.5
+[[faults]]
+kind = "drain"
+switch = 0
+start = 0.3
+end = 0.6
+[[faults]]
+kind = "host_churn"
+host = 15
+leave = 0.25
+join = 0.75
+"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(doc.faults.len(), 3);
+        assert_eq!(
+            doc.faults[0],
+            FaultClause::LinkFlap {
+                switch: 2,
+                port: 3,
+                down: 0.2,
+                up: 0.5
+            }
+        );
+        assert_eq!(
+            doc.faults[2],
+            FaultClause::HostChurn {
+                host: 15,
+                leave: 0.25,
+                join: 0.75
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_fault_kind_suggests() {
+        let e = SpecDoc::from_value(
+            &toml::parse(
+                "name = \"x\"\n[topology]\nkind = \"fat_tree\"\n[[faults]]\nkind = \"link_flip\"\nswitch = 0\nport = 0\ndown = 0.1\nup = 0.2\n",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message().contains("did you mean 'link_flap'?"), "{e}");
+    }
+
+    #[test]
+    fn fault_bounds_checked_against_topology() {
+        // k=4 fat-tree: 16 hosts, 20 switches, 4 ports each.
+        for (extra, needle) in [
+            (
+                "[[faults]]\nkind = \"drain\"\nswitch = 20\nstart = 0.1\nend = 0.2\n",
+                "outside the fat_tree fabric (20 switches)",
+            ),
+            (
+                "[[faults]]\nkind = \"link_flap\"\nswitch = 2\nport = 4\ndown = 0.1\nup = 0.2\n",
+                "outside switch 2 (4 ports)",
+            ),
+            (
+                "[[faults]]\nkind = \"host_churn\"\nhost = 16\nleave = 0.1\njoin = 0.2\n",
+                "outside the fat_tree fabric (16 hosts)",
+            ),
+            (
+                "[[faults]]\nkind = \"host_churn\"\nhost = 0\nleave = 1.5\njoin = 2.0\n",
+                "fraction of the workload window",
+            ),
+            (
+                "[[faults]]\nkind = \"link_flap\"\nswitch = 0\nport = 0\ndown = 0.5\nup = 0.2\n",
+                "down before it comes up",
+            ),
+            (
+                "[[faults]]\nkind = \"drain\"\nswitch = 0\nend = 0.2\n",
+                "missing 'start'",
+            ),
+        ] {
+            let spec = format!("name = \"x\"\n[topology]\nkind = \"fat_tree\"\nk = 4\n{extra}");
+            let e = SpecDoc::from_value(&toml::parse(&spec).unwrap()).unwrap_err();
+            assert!(e.message().contains(needle), "{extra}: {e}");
+        }
     }
 
     #[test]
