@@ -48,6 +48,7 @@
 
 pub mod fabric;
 pub mod figs;
+pub mod live;
 pub mod registry;
 pub mod report;
 pub mod runner;
@@ -92,4 +93,31 @@ pub fn sim_threads() -> usize {
 /// any higher spec-level `[sim] threads` setting).
 pub fn apply_sim_threads(world: &mut occamy_sim::World) {
     world.cfg.threads = world.cfg.threads.max(sim_threads());
+}
+
+/// Returns `true` when `OCCAMY_TELEMETRY=1` (set by `--telemetry` /
+/// `--live`): the runner installs the out-of-band telemetry sink and
+/// tails the trace bus into `results/<name>_telemetry.jsonl`. Telemetry
+/// is read-only over simulation state, so every BENCH/CSV byte is
+/// identical with it on or off (CI-enforced).
+pub fn telemetry_enabled() -> bool {
+    std::env::var("OCCAMY_TELEMETRY").is_ok_and(|v| v == "1")
+}
+
+/// Default telemetry snapshot cadence in executed events
+/// (`OCCAMY_TELEMETRY_EVERY`; a spec's `[telemetry] every_events`
+/// overrides it per cell).
+pub fn telemetry_every() -> u64 {
+    std::env::var("OCCAMY_TELEMETRY_EVERY")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(50_000)
+}
+
+/// Returns `true` when `OCCAMY_LIVE=1` (set by `--live`): the sink also
+/// renders the ANSI dashboard to stderr, and the runner suppresses its
+/// per-cell start lines so they don't tear the display.
+pub fn live_mode() -> bool {
+    std::env::var("OCCAMY_LIVE").is_ok_and(|v| v == "1")
 }

@@ -7,6 +7,7 @@
 //! occamy-bench shard plan <name> | --spec FILE  --shards N [--quick|--smoke] [--out-dir DIR]
 //! occamy-bench shard run <plan.json> [--serial] [--out FILE]
 //! occamy-bench shard merge <partial.json...> [--out-dir DIR]
+//! occamy-bench watch <dir>
 //! ```
 //!
 //! `run`/`all` execute the selected scenarios' grid cells in parallel
@@ -45,6 +46,9 @@ commands:
                        result next to it (<plan>.result.json)
   shard merge <f...>   merge partial results into the byte-identical
                        BENCH_<name>.json + results/*.csv of a direct run
+  watch <dir>          live terminal dashboard tailing the telemetry
+                       streams (results/*_telemetry.jsonl) of a run
+                       started with --telemetry; exits when quiet
 
 options:
   --spec FILE          load a declarative scenario spec (.toml/.json);
@@ -63,6 +67,14 @@ options:
   --out FILE           partial-result path for `shard run`
   --freeze-perf        zero all wall-clock perf fields so reports are
                        byte-reproducible (also: OCCAMY_FREEZE_PERF=1)
+  --telemetry          stream live run telemetry to
+                       results/<name>_telemetry.jsonl (also:
+                       OCCAMY_TELEMETRY=1); snapshot cadence via
+                       OCCAMY_TELEMETRY_EVERY or a spec's [telemetry]
+                       section. Simulation outputs are byte-identical
+                       with or without it
+  --live               --telemetry plus an in-terminal dashboard while
+                       the run executes (also: OCCAMY_LIVE=1)
 ";
 
 struct Args {
@@ -92,6 +104,11 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => scale = Scale::Smoke,
             "--serial" => parallel = false,
             "--freeze-perf" => std::env::set_var("OCCAMY_FREEZE_PERF", "1"),
+            "--telemetry" => std::env::set_var("OCCAMY_TELEMETRY", "1"),
+            "--live" => {
+                std::env::set_var("OCCAMY_TELEMETRY", "1");
+                std::env::set_var("OCCAMY_LIVE", "1");
+            }
             "--spec" => {
                 let path = args.next().ok_or("--spec needs a file path")?;
                 specs.push(SpecScenario::load(&path)?);
@@ -179,7 +196,13 @@ fn list(specs: &[&'static SpecScenario]) {
 }
 
 fn run(scenarios: Vec<&'static dyn Scenario>, scale: Scale, parallel: bool) -> ExitCode {
+    let sink = occamy_bench::telemetry_enabled().then(|| {
+        occamy_bench::live::TelemetrySink::start(Path::new("."), occamy_bench::live_mode())
+    });
     let (runs, stats) = runner::execute(&scenarios, scale, parallel);
+    if let Some(sink) = sink {
+        sink.finish();
+    }
     for r in &runs {
         if let Err(e) = runner::render(r, scale, stats.wall) {
             eprintln!("failed to write outputs for {}: {e}", r.scenario.name());
@@ -234,7 +257,14 @@ fn shard_command(args: &Args) -> Result<(), String> {
                 return Err("`shard run` takes exactly one plan file".to_string());
             };
             let out = args.out.as_ref().map(Path::new);
-            let path = shard::run_shard(Path::new(file), args.parallel, out)?;
+            let sink = occamy_bench::telemetry_enabled().then(|| {
+                occamy_bench::live::TelemetrySink::start(Path::new("."), occamy_bench::live_mode())
+            });
+            let result = shard::run_shard(Path::new(file), args.parallel, out);
+            if let Some(sink) = sink {
+                sink.finish();
+            }
+            let path = result?;
             println!("wrote {}", path.display());
             Ok(())
         }
@@ -311,6 +341,16 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "watch" => {
+            let dir = args.names.first().map(String::as_str).unwrap_or(".");
+            match occamy_bench::live::watch(Path::new(dir)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: watch failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         other => {
             eprintln!("error: unknown command '{other}'\n\n{USAGE}");
             ExitCode::from(2)

@@ -16,10 +16,67 @@
 //! byte-identical to a single-machine run.
 
 use crate::scenario::{CellOutcome, CellSpec, Report, Scale, Scenario};
+use occamy_sim::telemetry::{self, CellInfo, SnapshotKind};
 use occamy_stats::{Json, Table};
 use rayon::prelude::*;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where that file doesn't exist (non-Linux).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Executes one cell with full instrumentation: the cell-start log line
+/// (grid label + seed, so long serial cells are attributable in the
+/// job log), telemetry cell context + boundary markers, wall clock and
+/// peak RSS. `total` is the number of cells in the batch being run.
+fn run_cell(scenario: &dyn Scenario, spec: &CellSpec, total: usize) -> CellOutcome {
+    if !crate::live_mode() {
+        eprintln!(
+            "cell start: {}[{}/{}] {} seed={:#018x}",
+            scenario.name(),
+            spec.index + 1,
+            total,
+            spec.label(),
+            spec.seed
+        );
+    }
+    telemetry::set_cell(CellInfo {
+        scenario: scenario.name().to_string(),
+        index: spec.index,
+        total,
+        label: spec.label(),
+        seed: spec.seed,
+    });
+    telemetry::set_cell_cadence(scenario.telemetry_every());
+    telemetry::emit_marker(SnapshotKind::CellStart, 0, 0, 0);
+    let start = Instant::now();
+    let result = scenario.run(spec);
+    let events = result.get("events").unwrap_or(0.0) as u64;
+    telemetry::emit_marker(SnapshotKind::CellEnd, events, 0, 0);
+    CellOutcome {
+        spec: spec.clone(),
+        result,
+        wall: start.elapsed(),
+        rss: peak_rss_bytes(),
+    }
+}
 
 /// One scenario's finished grid plus its rendered report.
 pub struct ScenarioRun {
@@ -111,6 +168,7 @@ impl ScenarioRun {
                     if let Some(eps) = eps {
                         fields.push(("events_per_sec".to_string(), Json::from(eps)));
                     }
+                    fields.push(("peak_rss_bytes".to_string(), Json::from(o.rss)));
                     let Json::Obj(result) = o.result.to_json() else {
                         unreachable!("CellResult::to_json returns an object");
                     };
@@ -174,15 +232,9 @@ pub fn execute(
     }
 
     let run_one = |job: &Job<'static>| -> (usize, CellOutcome) {
-        let start = Instant::now();
-        let result = job.scenario.run(&job.spec);
         (
             job.which,
-            CellOutcome {
-                spec: job.spec.clone(),
-                result,
-                wall: start.elapsed(),
-            },
+            run_cell(job.scenario, &job.spec, grids[job.which]),
         )
     };
 
@@ -238,14 +290,23 @@ pub fn run_cells(
     cells: &[CellSpec],
     parallel: bool,
 ) -> Vec<CellOutcome> {
+    run_cells_with(scenario, cells, parallel, &|_| {})
+}
+
+/// [`run_cells`] with a completion callback, invoked (possibly from
+/// worker threads — it must be `Sync`) right after each cell finishes.
+/// `shard run` uses it to keep its heartbeat file current, so a
+/// stalled or killed shard is detectable from the outside.
+pub fn run_cells_with(
+    scenario: &'static dyn Scenario,
+    cells: &[CellSpec],
+    parallel: bool,
+    on_cell_done: &(dyn Fn(&CellSpec) + Sync),
+) -> Vec<CellOutcome> {
     let run_one = |spec: &CellSpec| -> CellOutcome {
-        let start = Instant::now();
-        let result = scenario.run(spec);
-        CellOutcome {
-            spec: spec.clone(),
-            result,
-            wall: start.elapsed(),
-        }
+        let outcome = run_cell(scenario, spec, cells.len());
+        on_cell_done(spec);
+        outcome
     };
     let mut outcomes: Vec<CellOutcome> = if parallel {
         cells.par_iter().map(run_one).collect()
@@ -279,6 +340,7 @@ fn freeze_walls(outcomes: &mut [CellOutcome]) {
     if crate::freeze_perf() {
         for o in outcomes {
             o.wall = Duration::ZERO;
+            o.rss = 0;
         }
     }
 }
@@ -307,6 +369,7 @@ fn perf_table(run: &ScenarioRun) -> Table {
             "wall_ms",
             "events",
             "events_per_sec",
+            "peak_rss_mb",
             "threads",
             "domains",
         ],
@@ -323,6 +386,7 @@ fn perf_table(run: &ScenarioRun) -> Table {
             format!("{wall_ms:.3}"),
             int(o.result.get("events")),
             int(eps),
+            format!("{:.1}", o.rss as f64 / (1024.0 * 1024.0)),
             int(o.result.get("sim_threads")),
             int(o.result.get("par_domains")),
         ]);

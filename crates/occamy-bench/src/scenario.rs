@@ -497,6 +497,11 @@ pub struct CellOutcome {
     pub result: CellResult,
     /// Wall-clock time of [`Scenario::run`] for this cell.
     pub wall: Duration,
+    /// Peak resident-set size of the process when the cell finished
+    /// (`VmHWM` from `/proc/self/status`; 0 off-Linux and under
+    /// `--freeze-perf`). Process-wide high-water mark, so within one
+    /// run it is monotone across cells in completion order.
+    pub rss: u64,
 }
 
 // -------------------------------------------------------------------
@@ -570,6 +575,14 @@ pub trait Scenario: Sync {
 
     /// Folds all outcomes (in grid order) into tables and notes.
     fn emit(&self, outcomes: &[CellOutcome]) -> Report;
+
+    /// Per-cell telemetry snapshot cadence override in executed events
+    /// (`None` = the runner default). Spec scenarios surface their
+    /// `[telemetry] every_events` knob here; only consulted when a
+    /// telemetry sink is installed.
+    fn telemetry_every(&self) -> Option<u64> {
+        None
+    }
 }
 
 // -------------------------------------------------------------------
@@ -708,6 +721,7 @@ mod tests {
                     spec,
                     result: CellResult::new().metric("m", v),
                     wall: Duration::ZERO,
+                    rss: 0,
                 }
             })
             .collect();

@@ -199,6 +199,7 @@ fn encode_outcome(o: &CellOutcome) -> Json {
         "wall_ms".to_string(),
         Json::from(o.wall.as_secs_f64() * 1e3),
     ));
+    fields.push(("peak_rss_bytes".to_string(), Json::from(o.rss)));
     fields.push((
         "metrics".to_string(),
         Json::obj(
@@ -247,10 +248,13 @@ fn decode_outcome(ctx: &str, j: &Json, scale: Scale) -> Result<CellOutcome, Stri
     for s in j.get("series").and_then(Json::as_arr).unwrap_or(&[]) {
         result = result.with_series(decode_series(&ctx, s)?);
     }
+    // Tolerant: partials written before the field existed decode as 0.
+    let rss = j.get("peak_rss_bytes").and_then(Json::as_u64).unwrap_or(0);
     Ok(CellOutcome {
         spec,
         result,
         wall: Duration::from_secs_f64(wall_ms / 1e3),
+        rss,
     })
 }
 
@@ -538,6 +542,49 @@ pub fn default_partial_path(plan_path: &Path) -> PathBuf {
     }
 }
 
+/// The heartbeat path for a plan file: `<plan stem>.heartbeat.json`
+/// next to it. `shard run` rewrites this small file as each cell
+/// completes; an operator (or `shard merge`, which checks it against
+/// the plan) can tell a stalled shard from a slow one by its mtime and
+/// `cells_done` count.
+pub fn heartbeat_path(plan_path: &Path) -> PathBuf {
+    let s = plan_path.to_string_lossy();
+    match s.strip_suffix(".json") {
+        Some(stem) => PathBuf::from(format!("{stem}.heartbeat.json")),
+        None => PathBuf::from(format!("{s}.heartbeat.json")),
+    }
+}
+
+/// Writes (overwrites) a shard heartbeat. Heartbeats are operational
+/// metadata, not result artifacts — they live next to the plan, never
+/// under `results/`, and carry a real wall-clock timestamp even under
+/// `--freeze-perf`. Failures are ignored: a heartbeat must never fail
+/// a run.
+fn write_heartbeat(
+    path: &Path,
+    file: &ShardFile,
+    planned: usize,
+    done: usize,
+    last_cell: Option<usize>,
+) {
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let _ = Json::obj([
+        ("format", Json::from(SHARD_FORMAT)),
+        ("kind", Json::from("heartbeat")),
+        ("scenario", Json::from(file.scenario.as_str())),
+        ("shard", Json::from(file.shard)),
+        ("shards", Json::from(file.shards)),
+        ("cells_planned", Json::from(planned)),
+        ("cells_done", Json::from(done)),
+        ("last_cell", last_cell.map_or(Json::Null, Json::from)),
+        ("last_event_unix_ms", Json::from(now_ms)),
+    ])
+    .write_to(path);
+}
+
 /// Executes one shard plan file with the shared parallel runner and
 /// writes the partial-result file (default: [`default_partial_path`]).
 /// Returns the partial's path.
@@ -589,7 +636,18 @@ pub fn run_shard(plan_path: &Path, parallel: bool, out: Option<&Path>) -> Result
             ));
         }
     }
-    let outcomes = runner::run_cells(scenario, &cells, parallel);
+    // Heartbeat: written once up front (0 cells done — proves the shard
+    // started), then rewritten after every completed cell. Serialized
+    // by the mutex because cells complete on rayon workers.
+    let hb_path = heartbeat_path(plan_path);
+    let planned = cells.len();
+    write_heartbeat(&hb_path, &file, planned, 0, None);
+    let hb_state = std::sync::Mutex::new(0usize);
+    let outcomes = runner::run_cells_with(scenario, &cells, parallel, &|spec| {
+        let mut done = hb_state.lock().unwrap();
+        *done += 1;
+        write_heartbeat(&hb_path, &file, planned, *done, Some(spec.index));
+    });
     let mut fields = Vec::with_capacity(12);
     let Json::Obj(header) = &file.doc else {
         unreachable!("parsed shard file is an object");
@@ -739,6 +797,19 @@ pub fn merge(partials: &[PathBuf], out_root: &Path) -> Result<PathBuf, String> {
         ));
     }
 
+    // Heartbeat cross-check: advisory only. A heartbeat reporting fewer
+    // completed cells than the plan assigned means the shard run was
+    // interrupted (or the partial is stale); merge still hard-fails
+    // below if any cell is actually missing, so this is a warning that
+    // names the likely culprit, not an error.
+    for f in &files {
+        let planned = reference
+            .iter()
+            .filter(|c| c.index % first.shards == f.shard)
+            .count();
+        warn_on_short_heartbeat(&f.path, f.shard, planned);
+    }
+
     // Decode outcomes; every grid cell covered exactly once, and every
     // cell's identity (seed + parameters) matching this binary's grid.
     let mut owner: Vec<Option<&ShardFile>> = vec![None; reference.len()];
@@ -807,6 +878,33 @@ pub fn merge(partials: &[PathBuf], out_root: &Path) -> Result<PathBuf, String> {
         .map_err(|e| format!("cannot write merged report: {e}"))
 }
 
+/// Reads the heartbeat sitting next to a partial-result file and warns
+/// (to stderr) if it reports fewer completed cells than the plan
+/// assigned to that shard. Missing or unparseable heartbeats are
+/// silently fine — older runs never wrote one.
+fn warn_on_short_heartbeat(partial: &Path, shard: usize, planned: usize) {
+    let s = partial.to_string_lossy();
+    let Some(stem) = s.strip_suffix(".result.json") else {
+        return;
+    };
+    let hb = PathBuf::from(format!("{stem}.heartbeat.json"));
+    let Ok(text) = std::fs::read_to_string(&hb) else {
+        return;
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return;
+    };
+    let done = doc.get("cells_done").and_then(Json::as_u64).unwrap_or(0) as usize;
+    if done < planned {
+        eprintln!(
+            "warning: heartbeat {} reports {done}/{planned} cells done for shard {shard} — \
+             the shard run may have been interrupted or the partial may be stale \
+             (cell-coverage validation below is still authoritative)",
+            hb.display()
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -858,10 +956,12 @@ mod tests {
                 .metric("odd", f64::NAN)
                 .with_series(s),
             wall: Duration::from_millis(7),
+            rss: 4096,
         };
         let j = encode_outcome(&o);
         let back = decode_outcome("t", &j, Scale::Smoke).unwrap();
         assert_eq!(back.spec.seed, o.spec.seed);
+        assert_eq!(back.rss, 4096);
         assert_eq!(back.result.get("loss_rate"), Some(0.125));
         assert_eq!(back.result.get("events"), Some(12345.0));
         assert!(back.result.get("odd").unwrap().is_nan());
@@ -909,6 +1009,38 @@ mod tests {
         let cells = source.scenario().grid(Scale::Smoke).len();
         let e = plan(&source, Scale::Smoke, cells + 1, &dir).unwrap_err();
         assert!(e.contains("use --shards"), "{e}");
+    }
+
+    #[test]
+    fn heartbeat_round_trips_next_to_the_plan() {
+        assert_eq!(
+            heartbeat_path(Path::new("shards/fig12.shard-0.json")),
+            PathBuf::from("shards/fig12.shard-0.heartbeat.json")
+        );
+        let dir = std::env::temp_dir().join(format!("occamy_shard_hb_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = ShardFile {
+            path: dir.join("fig12.shard-1.json"),
+            scenario: "fig12".to_string(),
+            source: "registry".to_string(),
+            spec_toml: None,
+            scale: Scale::Smoke,
+            shard: 1,
+            shards: 3,
+            total_cells: 9,
+            doc: Json::Null,
+        };
+        let hb = heartbeat_path(&file.path);
+        write_heartbeat(&hb, &file, 3, 2, Some(4));
+        let doc = Json::parse(&std::fs::read_to_string(&hb).unwrap()).unwrap();
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("heartbeat"));
+        assert_eq!(doc.get("cells_done").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("cells_planned").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("last_cell").and_then(Json::as_u64), Some(4));
+        // Short heartbeat (2 of 3) triggers the advisory path without
+        // erroring; full-coverage validation stays authoritative.
+        warn_on_short_heartbeat(&dir.join("fig12.shard-1.result.json"), 1, 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

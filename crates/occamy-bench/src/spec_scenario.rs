@@ -296,6 +296,12 @@ impl Scenario for SpecScenario {
         self.description
     }
 
+    fn telemetry_every(&self) -> Option<u64> {
+        // A spec's `[telemetry] every_events` overrides the runner-wide
+        // snapshot cadence for this scenario's cells (0 = no override).
+        (self.doc.telemetry.every_events > 0).then_some(self.doc.telemetry.every_events)
+    }
+
     fn grid(&self, scale: Scale) -> Vec<CellSpec> {
         let mut g = Grid::new(self.seed_key, scale);
         for axis in &self.doc.grid {

@@ -65,6 +65,7 @@ mod par;
 mod routing;
 mod scheduler;
 mod switch;
+pub mod telemetry;
 pub mod time;
 mod timer;
 pub mod topology;

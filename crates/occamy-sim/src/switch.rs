@@ -58,6 +58,10 @@ pub struct BufferPartition {
 pub struct Switch {
     /// Switch index.
     pub id: usize,
+    /// Fabric tier (0 = edge/leaf/access, 1 = aggregation/spine,
+    /// 2 = core). Purely descriptive — set by the topology builders and
+    /// used by telemetry to group queue-occupancy gauges per tier.
+    pub tier: u8,
     /// Egress ports.
     pub ports: Vec<SwitchPort>,
     /// Buffer partitions.
@@ -153,6 +157,7 @@ mod tests {
             .collect();
         Switch {
             id: 0,
+            tier: 0,
             ports,
             partitions,
             port_partition,

@@ -212,6 +212,7 @@ pub fn single_switch(c: SingleSwitchCfg) -> World {
     let routing = RoutingTable::new((0..n).map(|h| vec![h as u16]).collect());
     let switch = Switch {
         id: 0,
+        tier: 0,
         ports,
         partitions: vec![partition],
         port_partition: vec![0; n],
@@ -378,6 +379,9 @@ pub fn leaf_spine(c: LeafSpineCfg) -> World {
         ));
     }
     let mut w = World::new(c.sim.clone(), hosts, switches);
+    for sw in &mut w.switches {
+        sw.tier = if sw.id < c.leaves { 0 } else { 1 };
+    }
     // Domains: each leaf plus its hosts, then each spine on its own.
     let host_domain = (0..n_hosts).map(|h| (h / hpl) as u32).collect();
     let switch_domain = (0..c.leaves + c.spines).map(|s| s as u32).collect();
@@ -569,6 +573,15 @@ pub fn fat_tree(c: FatTreeCfg) -> World {
         ));
     }
     let mut w = World::new(c.sim.clone(), hosts, switches);
+    for sw in &mut w.switches {
+        sw.tier = if sw.id < n_edges {
+            0
+        } else if sw.id < n_edges + n_aggs {
+            1
+        } else {
+            2
+        };
+    }
     // Domains: pod p owns its hosts, edges and aggregations (all
     // intra-pod links stay domain-local); each core switch is its own
     // domain, so agg↔core links are the only cross-domain edges
@@ -809,6 +822,15 @@ pub fn three_tier(c: ThreeTierCfg) -> World {
         ));
     }
     let mut w = World::new(c.sim.clone(), hosts, switches);
+    for sw in &mut w.switches {
+        sw.tier = if sw.id < n_access {
+            0
+        } else if sw.id < n_access + n_aggs {
+            1
+        } else {
+            2
+        };
+    }
     // Domains: pod p owns its hosts, access and aggregation switches;
     // each core switch is its own domain.
     let host_domain = (0..n_hosts).map(|h| (h / hosts_per_pod) as u32).collect();
@@ -889,6 +911,7 @@ fn assemble_switch(
     let total_rate: u64 = rates.iter().sum();
     Switch {
         id,
+        tier: 0,
         ports,
         partitions,
         port_partition,

@@ -325,8 +325,31 @@ impl World {
             faults,
             metrics,
         };
-        while let Some((at, ev)) = events.pop_at_most(limit) {
-            engine::execute_event(&mut ctx, events, at, ev);
+        match std::num::NonZeroU64::new(crate::telemetry::cadence()) {
+            // Telemetry off: the pre-telemetry loop, byte for byte.
+            None => {
+                while let Some((at, ev)) = events.pop_at_most(limit) {
+                    engine::execute_event(&mut ctx, events, at, ev);
+                }
+            }
+            // Same loop plus a counter check per event; snapshots are
+            // read-only over sim state, so outputs stay identical.
+            Some(cadence) => {
+                let step = cadence.get();
+                let mut next = (ctx.metrics.events_processed / cadence + 1) * step;
+                while let Some((at, ev)) = events.pop_at_most(limit) {
+                    engine::execute_event(&mut ctx, events, at, ev);
+                    if ctx.metrics.events_processed >= next {
+                        crate::telemetry::emit_snapshot_serial(
+                            &*ctx.switches,
+                            &*ctx.metrics,
+                            ctx.now,
+                            limit,
+                        );
+                        next = (ctx.metrics.events_processed / cadence + 1) * step;
+                    }
+                }
+            }
         }
         *now = ctx.now;
     }

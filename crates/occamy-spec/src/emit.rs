@@ -130,6 +130,11 @@ impl SpecDoc {
             let _ = writeln!(w, "threads = {}", s.threads);
         }
 
+        if self.telemetry.every_events != 0 {
+            let _ = writeln!(w, "\n[telemetry]");
+            let _ = writeln!(w, "every_events = {}", self.telemetry.every_events);
+        }
+
         for f in &self.faults {
             let _ = writeln!(w, "\n[[faults]]");
             match f {
@@ -219,6 +224,9 @@ use = ["Occamy", "DT"]
 
 [schemes.alpha]
 Occamy = 4.0
+
+[telemetry]
+every_events = 25000
 
 [[faults]]
 kind = "link_flap"

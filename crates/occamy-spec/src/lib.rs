@@ -35,8 +35,8 @@ mod value;
 pub use error::{Result, SpecError};
 pub use model::{
     default_alpha, AxisSpec, Background, FaultClause, Num, QuerySize, SchemesSpec, SimSpec,
-    SpecDoc, TableSpec, TopologyKind, TopologySection, TrafficSpec, BACKGROUNDS, FAULT_KINDS,
-    KNOBS, METRICS, SCHEMES, TOPOLOGIES,
+    SpecDoc, TableSpec, TelemetrySpec, TopologyKind, TopologySection, TrafficSpec, BACKGROUNDS,
+    FAULT_KINDS, KNOBS, METRICS, SCHEMES, TOPOLOGIES,
 };
 pub use value::Value;
 

@@ -371,6 +371,15 @@ pub struct SimSpec {
     pub threads: u64,
 }
 
+/// The `[telemetry]` section (live-observability cadence).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySpec {
+    /// Snapshot cadence in executed events (0 = use the runner default
+    /// when telemetry is enabled). Snapshots are event-count driven, so
+    /// they are deterministic and never perturb simulation output.
+    pub every_events: u64,
+}
+
 /// One `[grid]` axis: a knob swept over per-scale value lists
 /// (`quick` / `smoke` default to `full`).
 #[derive(Debug, Clone, PartialEq)]
@@ -459,6 +468,8 @@ pub struct SpecDoc {
     pub schemes: SchemesSpec,
     /// Engine parameters.
     pub sim: SimSpec,
+    /// Live-telemetry cadence.
+    pub telemetry: TelemetrySpec,
     /// Deterministic fault schedule (empty = pristine fabric).
     pub faults: Vec<FaultClause>,
     /// Extra sweep axes (the scheme axis is implicit and last).
@@ -775,6 +786,16 @@ fn parse_sim(doc: &Value) -> Result<SimSpec> {
     })
 }
 
+fn parse_telemetry(doc: &Value) -> Result<TelemetrySpec> {
+    let ctx = "[telemetry]";
+    let empty = Value::Table(Vec::new());
+    let t = doc.get("telemetry").unwrap_or(&empty);
+    check_keys(ctx, t, &["every_events"])?;
+    Ok(TelemetrySpec {
+        every_events: get_u64(ctx, t, "every_events", 0)?,
+    })
+}
+
 fn parse_nums(ctx: &str, v: &Value) -> Result<Vec<Num>> {
     let arr = v.as_array().map_err(|e| e.in_context(ctx))?;
     if arr.is_empty() {
@@ -1028,6 +1049,7 @@ impl SpecDoc {
                 "traffic",
                 "schemes",
                 "sim",
+                "telemetry",
                 "faults",
                 "grid",
                 "emit",
@@ -1068,6 +1090,7 @@ impl SpecDoc {
             traffic,
             schemes: parse_schemes(doc)?,
             sim: parse_sim(doc)?,
+            telemetry: parse_telemetry(doc)?,
             faults,
             emit: parse_emit(doc, &grid)?,
             grid,

@@ -14,11 +14,13 @@
 mod cdf;
 mod json;
 mod records;
+mod sketch;
 mod summary;
 mod table;
 
 pub use cdf::Cdf;
 pub use json::Json;
 pub use records::{FlowClass, FlowRecord, FlowSet, QctRecord, SMALL_FLOW_BYTES};
+pub use sketch::{EwmaRate, QuantileSketch};
 pub use summary::Summary;
 pub use table::{write_csv, Table};

@@ -1,0 +1,70 @@
+//! Property tests pinning the Greenwald–Khanna sketch's rank-error bound
+//! against exact percentiles computed from the full sorted stream.
+
+use occamy_stats::QuantileSketch;
+use proptest::prelude::*;
+
+/// Exact rank band `[lo, hi]` (1-based, inclusive) that `value` occupies
+/// in `sorted` — a band rather than a point because of duplicates.
+fn rank_band(sorted: &[f64], value: f64) -> (f64, f64) {
+    let lo = sorted.partition_point(|&x| x < value);
+    let hi = sorted.partition_point(|&x| x <= value);
+    ((lo + 1) as f64, hi as f64)
+}
+
+proptest! {
+    /// For any stream and any quantile, the value the sketch returns must
+    /// sit within eps*n (+2 insertion slack) ranks of the target rank.
+    #[test]
+    fn gk_rank_error_is_bounded(
+        values in prop::collection::vec(0u32..10_000, 1..600),
+        qs in prop::collection::vec(0.0f64..1.001, 1..8),
+    ) {
+        let eps = 0.05;
+        let mut sk = QuantileSketch::new(eps);
+        for &v in &values {
+            sk.observe(v as f64);
+        }
+        let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len() as f64;
+        let bound = eps * n + 2.0;
+        for &q in &qs {
+            let got = sk.quantile(q).unwrap();
+            let target = (q * n).ceil().max(1.0);
+            let (lo, hi) = rank_band(&sorted, got);
+            // Distance from the target rank to the nearest rank the
+            // returned value actually occupies.
+            let err = if target < lo {
+                lo - target
+            } else if target > hi {
+                target - hi
+            } else {
+                0.0
+            };
+            prop_assert!(
+                err <= bound,
+                "q={} target rank {} but value {} spans ranks [{}, {}] (err {} > bound {})",
+                q, target, got, lo, hi, err, bound
+            );
+        }
+        // The memory footprint must stay well under the stream length for
+        // non-trivial streams.
+        prop_assert!(sk.size() <= values.len());
+    }
+
+    /// Extremes are exact: q=0 is the stream minimum, q=1 the maximum.
+    #[test]
+    fn gk_extremes_are_exact(
+        values in prop::collection::vec(-5_000i32..5_000, 1..400),
+    ) {
+        let mut sk = QuantileSketch::new(0.02);
+        for &v in &values {
+            sk.observe(v as f64);
+        }
+        let min = values.iter().copied().min().unwrap() as f64;
+        let max = values.iter().copied().max().unwrap() as f64;
+        prop_assert_eq!(sk.quantile(0.0), Some(min));
+        prop_assert_eq!(sk.quantile(1.0), Some(max));
+    }
+}
