@@ -15,8 +15,10 @@ use crate::report::{aggregate, IdealFct, RunResult};
 use crate::scenario::Scale;
 use crate::scenarios::{inject_fabric_workload, BgPattern, LeafSpineScenario};
 use occamy_core::BmKind;
-use occamy_sim::topology::{fat_tree, three_tier, BmSpec, FatTreeCfg, SchedKind, ThreeTierCfg};
-use occamy_sim::{FaultSchedule, Ps, SimConfig, World, MS};
+use occamy_sim::topology::{
+    fat_tree, leaf_spine, three_tier, BmSpec, FatTreeCfg, LeafSpineCfg, SchedKind, ThreeTierCfg,
+};
+use occamy_sim::{FaultSchedule, Ps, SimConfig, World, XpSched, MS};
 
 /// The fabric shape a [`FabricScenario`] runs on.
 #[derive(Debug, Clone)]
@@ -124,6 +126,11 @@ pub struct FabricScenario {
     /// `duration_ps`, so the same schedule scales with `--quick` and
     /// `--smoke` clamps). Empty by default.
     pub faults: FaultSchedule,
+    /// When set, every switch runs the crosspoint-queued architecture
+    /// with this scheduler instead of the shared-memory model (`bm` and
+    /// `alpha` are then unused — crosspoint buffers are statically
+    /// partitioned). `None` (the default) keeps shared memory.
+    pub crosspoint: Option<XpSched>,
 }
 
 impl FabricScenario {
@@ -151,6 +158,7 @@ impl FabricScenario {
             seed: ls.seed,
             sim: ls.sim,
             faults: FaultSchedule::default(),
+            crosspoint: None,
         }
     }
 
@@ -186,6 +194,11 @@ impl FabricScenario {
     /// leaf-spine (the delegation that keeps spec runs bit-identical to
     /// the hand-coded figures).
     fn as_leaf_spine(&self) -> Option<LeafSpineScenario> {
+        // Crosspoint worlds never delegate: the hand-coded scenario is
+        // shared-memory only, so they take the generic build path below.
+        if self.crosspoint.is_some() {
+            return None;
+        }
         let FabricTopo::LeafSpine {
             spines,
             leaves,
@@ -225,8 +238,26 @@ impl FabricScenario {
             kind: self.bm,
             alpha_per_class: vec![self.alpha],
         };
-        match self.topo {
-            FabricTopo::LeafSpine { .. } => unreachable!("handled by delegation"),
+        let mut world = match self.topo {
+            // Reached only for crosspoint worlds; shared-memory
+            // leaf-spine delegates to the hand-coded scenario above.
+            FabricTopo::LeafSpine {
+                spines,
+                leaves,
+                hosts_per_leaf,
+            } => leaf_spine(LeafSpineCfg {
+                spines,
+                leaves,
+                hosts_per_leaf,
+                host_rate_bps: self.host_rate_bps,
+                fabric_rate_bps: self.effective_fabric_rate_bps(),
+                link_prop_ps: self.link_prop_ps,
+                buffer_per_8ports_bytes: self.buffer_per_8ports,
+                classes: 1,
+                bm,
+                sched: SchedKind::Fifo,
+                sim: self.sim.clone(),
+            }),
             FabricTopo::FatTree { k } => fat_tree(FatTreeCfg {
                 k,
                 host_rate_bps: self.host_rate_bps,
@@ -260,7 +291,11 @@ impl FabricScenario {
                 sched: SchedKind::Fifo,
                 sim: self.sim.clone(),
             }),
+        };
+        if let Some(sched) = self.crosspoint {
+            world.enable_crosspoint(sched);
         }
+        world
     }
 
     /// Builds, injects, runs and aggregates, also returning the world.

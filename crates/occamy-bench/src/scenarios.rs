@@ -569,6 +569,8 @@ pub fn bm_kind_by_name(name: &str) -> Option<BmKind> {
         "Pushout" => BmKind::Pushout,
         "Static" => BmKind::Static,
         "CompleteSharing" => BmKind::CompleteSharing,
+        "BShare" => BmKind::BShare,
+        "DAMQ" => BmKind::Damq,
         _ => return None,
     })
 }

@@ -18,8 +18,12 @@ use crate::scenario::{
     matrix_table, CellOutcome, CellResult, CellSpec, Grid, Report, Scale, Scenario, Value,
 };
 use crate::scenarios::{bm_kind_by_name, BgPattern};
-use occamy_sim::{Drain, FaultSchedule, HostChurn, LinkFlap, Ps, SimConfig, MS, US};
-use occamy_spec::{AxisSpec, Background, FaultClause, Num, QuerySize, SpecDoc, TopologyKind};
+use occamy_core::BmKind;
+use occamy_sim::{Drain, FaultSchedule, HostChurn, LinkFlap, Ps, SimConfig, XpSched, MS, US};
+use occamy_spec::{
+    AxisSpec, Background, FaultClause, Num, QuerySize, SpecDoc, SwitchArch, TopologyKind,
+    XpSchedSpec,
+};
 
 /// A registry-compatible scenario compiled from a spec document.
 ///
@@ -131,8 +135,25 @@ impl SpecScenario {
                 hosts_per_access,
             },
         };
-        let bm = bm_kind_by_name(scheme)
-            .unwrap_or_else(|| unreachable!("spec validation admits only known schemes"));
+        // The pseudo-scheme "Crosspoint" (or `[topology] switch_arch =
+        // "crosspoint"`) swaps the switch architecture: crosspoint cells
+        // get statically partitioned per-(input, output) buffers, so the
+        // buffer manager is irrelevant (CompleteSharing over partitions
+        // that stay empty).
+        let crosspoint = if scheme == "Crosspoint" || t.switch_arch == SwitchArch::Crosspoint {
+            Some(match t.xp_sched {
+                XpSchedSpec::RoundRobin => XpSched::RoundRobin,
+                XpSchedSpec::Longest => XpSched::Longest,
+            })
+        } else {
+            None
+        };
+        let bm = if scheme == "Crosspoint" {
+            BmKind::CompleteSharing
+        } else {
+            bm_kind_by_name(scheme)
+                .unwrap_or_else(|| unreachable!("spec validation admits only known schemes"))
+        };
         let tr = &self.doc.traffic;
         let buffer_per_8ports = t.buffer_per_8ports_kb * 1_000;
         let flow_bytes = tr.bg_flow_kb * 1_000;
@@ -213,6 +234,7 @@ impl SpecScenario {
                 ..SimConfig::default()
             },
             faults,
+            crosspoint,
         }
     }
 }

@@ -1,7 +1,8 @@
 //! The [`BufferManager`] trait and scheme-independent configuration.
 
 use crate::{
-    Abm, BufferState, CompleteSharing, DynamicThreshold, Occamy, Pushout, QueueId, StaticThreshold,
+    Abm, BShare, BufferState, CompleteSharing, Damq, DynamicThreshold, Occamy, Pushout, QueueId,
+    StaticThreshold,
 };
 
 /// Admission decision for an arriving packet.
@@ -193,6 +194,10 @@ pub enum BmKind {
     Static,
     /// Complete sharing (admit whenever there is space).
     CompleteSharing,
+    /// BShare (delay-driven buffer sharing).
+    BShare,
+    /// DAMQ (reserved-minimum + shared-pool allocation).
+    Damq,
 }
 
 impl BmKind {
@@ -209,6 +214,8 @@ impl BmKind {
             BmKind::Pushout => AnyBm::Pushout(Pushout::new(cfg)),
             BmKind::Static => AnyBm::Static(StaticThreshold::fair_share(cfg)),
             BmKind::CompleteSharing => AnyBm::CompleteSharing(CompleteSharing::new(cfg)),
+            BmKind::BShare => AnyBm::BShare(BShare::new(cfg)),
+            BmKind::Damq => AnyBm::Damq(Damq::new(cfg)),
         }
     }
 }
@@ -230,6 +237,8 @@ pub enum AnyBm {
     Pushout(Pushout),
     Static(StaticThreshold),
     CompleteSharing(CompleteSharing),
+    BShare(BShare),
+    Damq(Damq),
 }
 
 macro_rules! dispatch {
@@ -241,6 +250,8 @@ macro_rules! dispatch {
             AnyBm::Pushout($inner) => $body,
             AnyBm::Static($inner) => $body,
             AnyBm::CompleteSharing($inner) => $body,
+            AnyBm::BShare($inner) => $body,
+            AnyBm::Damq($inner) => $body,
         }
     };
 }
@@ -325,6 +336,8 @@ mod tests {
             BmKind::Pushout,
             BmKind::Static,
             BmKind::CompleteSharing,
+            BmKind::BShare,
+            BmKind::Damq,
         ] {
             let bm = kind.build(cfg.clone());
             assert!(!bm.name().is_empty());

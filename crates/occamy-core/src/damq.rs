@@ -1,0 +1,208 @@
+//! DAMQ — dynamically-allocated multi-queue buffer sharing
+//! (Tamir & Frazier, ToC 1992; NoC variant: Jamali & Khademzadeh, 2009).
+
+use crate::{BufferManager, BufferState, DropReason, QueueConfig, QueueId, Verdict};
+
+/// DAMQ-style reserved-minimum + shared-pool allocation.
+///
+/// The buffer is split in two at construction-time ratios: every queue
+/// owns a private reservation `R = B / 2N` it can always fill, and the
+/// remainder `S = B − N·R` is a common pool any queue may claim
+/// first-come-first-served. A queue's admission threshold is therefore
+///
+/// ```text
+/// T_q(t) = R + excess_q(t) + (S − Σᵢ excessᵢ(t))
+/// excess_i(t) = max(len_i(t) − R, 0)
+/// ```
+///
+/// — its reservation, plus what it already borrowed, plus whatever is
+/// left of the pool. Unlike DT the threshold does not shrink with free
+/// buffer symmetrically: a queue can never be denied its reservation
+/// (no starvation), but once the pool is spent no queue grows past
+/// `R + excess_q`, which bounds monopolization exactly at `R + S`.
+///
+/// The pool accounting `Σ excessᵢ` is maintained *incrementally* from
+/// the enqueue/dequeue hooks (each mutation adjusts the sum by the
+/// change in that queue's excess), so `threshold` — called on every
+/// admit — is O(1) instead of a scan over the partition's queues.
+/// Debug builds cross-check the cache against the scan on every
+/// threshold call, and a proptest drives random workloads through both.
+///
+/// The `α` knob is accepted for interface uniformity but unused: DAMQ
+/// predates dynamic thresholds and allocates by reservation, not by a
+/// free-space multiplier.
+#[derive(Debug, Clone)]
+pub struct Damq {
+    cfg: QueueConfig,
+    /// Cached `Σᵢ max(len_i − R, 0)` — bytes of shared pool in use.
+    excess_sum: u64,
+}
+
+impl Damq {
+    /// Creates a DAMQ manager over the given queue configuration.
+    pub fn new(cfg: QueueConfig) -> Self {
+        cfg.validate();
+        Damq { cfg, excess_sum: 0 }
+    }
+
+    /// Per-queue reservation: half the buffer divided evenly, the classic
+    /// DAMQ design point (the other half forms the shared pool).
+    fn reservation(&self, state: &BufferState) -> u64 {
+        state.capacity() / (2 * self.cfg.num_queues() as u64)
+    }
+
+    /// Shared-pool bytes in use by full scan — the reference the
+    /// incremental cache is checked against (debug assert + proptest).
+    fn excess_sum_scan(&self, state: &BufferState) -> u64 {
+        let r = self.reservation(state);
+        state.iter().map(|(_, len)| len.saturating_sub(r)).sum()
+    }
+}
+
+impl BufferManager for Damq {
+    fn threshold(&self, q: QueueId, state: &BufferState) -> u64 {
+        debug_assert_eq!(
+            self.excess_sum,
+            self.excess_sum_scan(state),
+            "shared-pool cache drifted from the scan"
+        );
+        let r = self.reservation(state);
+        let pool = state.capacity() - r * self.cfg.num_queues() as u64;
+        let excess_q = state.queue_len(q).saturating_sub(r);
+        // Saturate: substrates that bypass admission (tests, pushout
+        // interleavings) can briefly overdraw the pool.
+        (r + excess_q + pool.saturating_sub(self.excess_sum)).min(state.capacity())
+    }
+
+    fn admit(&self, q: QueueId, len: u64, state: &BufferState) -> Verdict {
+        if state.total() + len > state.capacity() {
+            return Verdict::Drop(DropReason::BufferFull);
+        }
+        if state.queue_len(q) + len > self.threshold(q, state) {
+            return Verdict::Drop(DropReason::OverThreshold);
+        }
+        Verdict::Accept
+    }
+
+    fn on_enqueue(&mut self, q: QueueId, len: u64, _now_ns: u64, state: &BufferState) {
+        // `state` already reflects the enqueue.
+        let r = self.reservation(state);
+        let new_len = state.queue_len(q);
+        self.excess_sum += new_len.saturating_sub(r) - (new_len - len).saturating_sub(r);
+    }
+
+    fn on_dequeue(&mut self, q: QueueId, len: u64, _now_ns: u64, state: &BufferState) {
+        let r = self.reservation(state);
+        let new_len = state.queue_len(q);
+        self.excess_sum -= (new_len + len).saturating_sub(r) - new_len.saturating_sub(r);
+    }
+
+    fn select_victim(&mut self, _state: &BufferState) -> Option<QueueId> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "DAMQ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer_threshold_is_reservation_plus_pool() {
+        // B = 80 000, N = 4 → R = 10 000, S = 40 000.
+        let bm = Damq::new(QueueConfig::uniform(4, 1_000, 1.0));
+        let state = BufferState::new(80_000, 4);
+        assert_eq!(bm.threshold(0, &state), 50_000);
+    }
+
+    #[test]
+    fn reservation_survives_pool_exhaustion() {
+        let mut bm = Damq::new(QueueConfig::uniform(4, 1_000, 1.0));
+        let mut state = BufferState::new(80_000, 4);
+        // Queue 0 takes its reservation plus the whole 40 KB pool.
+        state.enqueue(0, 50_000).unwrap();
+        bm.on_enqueue(0, 50_000, 0, &state);
+        // Queue 0 is pinned at exactly its current claim...
+        assert_eq!(bm.threshold(0, &state), 50_000);
+        assert_eq!(
+            bm.admit(0, 1, &state),
+            Verdict::Drop(DropReason::OverThreshold)
+        );
+        // ...but every other queue still gets its full 10 KB reservation.
+        assert_eq!(bm.threshold(1, &state), 10_000);
+        assert_eq!(bm.admit(1, 10_000, &state), Verdict::Accept);
+    }
+
+    #[test]
+    fn pool_is_first_come_first_served() {
+        let mut bm = Damq::new(QueueConfig::uniform(2, 1_000, 1.0));
+        let mut state = BufferState::new(40_000, 2);
+        // R = 10 000, S = 20 000. Queue 0 borrows 5 KB of pool.
+        state.enqueue(0, 15_000).unwrap();
+        bm.on_enqueue(0, 15_000, 0, &state);
+        // Queue 1 sees its reservation plus the remaining 15 KB of pool.
+        assert_eq!(bm.threshold(1, &state), 25_000);
+        // Releasing queue 0's borrow restores the pool.
+        state.dequeue(0, 6_000).unwrap();
+        bm.on_dequeue(0, 6_000, 0, &state);
+        assert_eq!(bm.threshold(1, &state), 30_000);
+    }
+
+    #[test]
+    fn is_non_preemptive() {
+        let mut bm = Damq::new(QueueConfig::uniform(2, 1_000, 1.0));
+        let mut state = BufferState::new(10_000, 2);
+        state.enqueue(0, 9_000).unwrap();
+        bm.on_enqueue(0, 9_000, 0, &state);
+        assert_eq!(bm.select_victim(&state), None);
+        assert!(!bm.is_preemptive());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The incremental shared-pool cache equals the full scan
+            /// after every hook-paired mutation of a random workload,
+            /// and the O(1) threshold equals the from-scratch formula —
+            /// the invariant that makes DAMQ admission exact.
+            #[test]
+            fn cached_pool_usage_matches_scan(
+                ops in prop::collection::vec(
+                    (0usize..6, 1u64..40_000, prop::bool::ANY),
+                    1..200,
+                )
+            ) {
+                let mut bm = Damq::new(QueueConfig::uniform(6, 1_000, 1.0));
+                let mut state = BufferState::new(300_000, 6);
+                for (q, bytes, is_enq) in ops {
+                    if is_enq {
+                        if state.enqueue(q, bytes).is_ok() {
+                            bm.on_enqueue(q, bytes, 0, &state);
+                        }
+                    } else {
+                        let take = bytes.min(state.queue_len(q));
+                        if take > 0 {
+                            state.dequeue(q, take).unwrap();
+                            bm.on_dequeue(q, take, 0, &state);
+                        }
+                    }
+                    prop_assert_eq!(bm.excess_sum, bm.excess_sum_scan(&state));
+                    // The threshold built on the cache equals the one
+                    // built on the scan (the pre-cache formula).
+                    let r = bm.reservation(&state);
+                    let pool = state.capacity() - r * 6;
+                    let scratch = (r
+                        + state.queue_len(q).saturating_sub(r)
+                        + pool.saturating_sub(bm.excess_sum_scan(&state)))
+                    .min(state.capacity());
+                    prop_assert_eq!(bm.threshold(q, &state), scratch);
+                }
+            }
+        }
+    }
+}

@@ -17,6 +17,9 @@
 //!   queues per priority and each queue's normalized drain rate.
 //! - [`Pushout`] — the classically optimal preemptive BM: admit whenever
 //!   there is free space; when full, evict from the longest queue.
+//! - [`BShare`] — delay-driven buffer sharing: caps each queue's backlog
+//!   at a target queueing delay times its measured drain rate.
+//! - [`Damq`] — DAMQ-style reserved-minimum + shared-pool allocation.
 //! - [`StaticThreshold`] and [`CompleteSharing`] — context baselines.
 //!
 //! The algorithms are substrate-independent value types: the same code is
@@ -47,6 +50,8 @@
 mod abm;
 mod bitmap;
 mod bm;
+mod bshare;
+mod damq;
 mod dt;
 mod error;
 mod maxtrack;
@@ -61,6 +66,8 @@ mod token_bucket;
 pub use abm::Abm;
 pub use bitmap::{QueueBitmap, RoundRobinCursor};
 pub use bm::{AnyBm, BmKind, BufferManager, DropReason, QueueConfig, Verdict, VictimPolicy};
+pub use bshare::BShare;
+pub use damq::Damq;
 pub use dt::DynamicThreshold;
 pub use error::CoreError;
 pub use maxtrack::MaxTracker;

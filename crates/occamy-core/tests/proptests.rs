@@ -190,7 +190,7 @@ proptest! {
     /// sequences, for every scheme kind.
     #[test]
     fn incremental_victim_state_matches_scratch_rebuild(
-        kind_idx in 0usize..7,
+        kind_idx in 0usize..9,
         alpha in 0.25f64..8.0,
         ops in prop::collection::vec((0usize..6, 0u64..3, 1u64..4_000), 1..250)
     ) {
@@ -202,6 +202,8 @@ proptest! {
             BmKind::Pushout,
             BmKind::Static,
             BmKind::CompleteSharing,
+            BmKind::BShare,
+            BmKind::Damq,
         ];
         let kind = kinds[kind_idx];
         let n = 6;
@@ -246,7 +248,7 @@ proptest! {
     /// Every scheme's threshold is bounded by the capacity, and admission
     /// of a zero-length packet into an empty buffer succeeds.
     #[test]
-    fn schemes_behave_on_edges(kind_idx in 0usize..7, cap in 1_000u64..1_000_000) {
+    fn schemes_behave_on_edges(kind_idx in 0usize..9, cap in 1_000u64..1_000_000) {
         let kinds = [
             BmKind::Dt,
             BmKind::Occamy,
@@ -255,6 +257,8 @@ proptest! {
             BmKind::Pushout,
             BmKind::Static,
             BmKind::CompleteSharing,
+            BmKind::BShare,
+            BmKind::Damq,
         ];
         let bm = kinds[kind_idx].build(QueueConfig::uniform(4, 1_000, 1.0));
         let state = BufferState::new(cap, 4);

@@ -26,6 +26,7 @@
 //! the receiver's (see `crate::transport`).
 
 use crate::cbr::CbrSource;
+use crate::crosspoint::encode_hop;
 use crate::event::{Event, EventQueue, NodeId, PacketId};
 use crate::faults::{FaultKind, FaultSpec};
 use crate::host::Host;
@@ -292,6 +293,8 @@ fn host_pump<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, gh: u32) {
     let ser = tx_time_ps(pkt.wire_bytes(), link.rate_bps);
     host.tx_busy = true;
     env.push(now + ser, Event::HostTxFree { host: gh });
+    let mut pkt = pkt;
+    pkt.last_hop = encode_hop(NodeId::Host(gh));
     env.push_arrival(
         now + ser + link.prop_ps,
         NodeId::switch(link.to_switch),
@@ -397,6 +400,12 @@ fn switch_rx<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, gs: u32, mut pkt: Packet) {
             }
         }
     };
+    if sw.xp.is_some() {
+        // Crosspoint-queued switch: a parallel data path with no shared
+        // buffer, no admission policy and no class queues.
+        xp_rx(sw, env, ctx.metrics, ecn_k, now, gs, port, pkt);
+        return;
+    }
     let class = (pkt.prio as usize).min(sw.classes - 1);
     let pa = sw.port_partition[port];
     let qidx = sw.queue_index(port, class);
@@ -533,10 +542,97 @@ fn head_drop_in(sw: &mut Switch, pa: usize, qidx: usize, now_ns: u64) -> bool {
     true
 }
 
+/// Crosspoint-switch arrival: the packet's previous-hop stamp selects
+/// the input, the routed output selects the column, and the packet
+/// tail-drops against its own crosspoint buffer only.
+#[allow(clippy::too_many_arguments)]
+fn xp_rx<E: Env>(
+    sw: &mut Switch,
+    env: &mut E,
+    metrics: &mut Metrics,
+    ecn_k: u64,
+    now: Ps,
+    gs: u32,
+    port: usize,
+    mut pkt: Packet,
+) {
+    let now_ns = ps_to_ns(now);
+    let membw = sw.membw_util(now_ns);
+    if sw.draining {
+        let xp = sw.xp.as_ref().expect("xp_rx on a shared-memory switch");
+        metrics.record_fault_drop(xp.util(), membw);
+        return;
+    }
+    let wire = pkt.wire_bytes();
+    let xp = sw.xp.as_mut().expect("xp_rx on a shared-memory switch");
+    let inp = xp
+        .input_for(pkt.last_hop)
+        .expect("packet arrived at a crosspoint switch from an unknown ingress");
+    let idx = xp.xp(port, inp);
+    if xp.occ[idx] + wire > xp.cap {
+        // The dedicated crosspoint is full — the CQ analog of a
+        // buffer-full tail drop (no threshold exists to exceed).
+        metrics.record_drop(false, xp.util(), membw);
+        return;
+    }
+    xp.occ[idx] += wire;
+    xp.out_occ[port] += wire;
+    xp.total += wire;
+    // DCTCP marking on the output column: the sum over the column's
+    // crosspoints is the CQ analog of the output queue length.
+    if pkt.kind == PacketKind::Data && xp.out_occ[port] > ecn_k {
+        pkt.ce = true;
+    }
+    xp.queues[idx].push_back(pkt);
+    sw.write_rate.record(wire, now_ns);
+    xp_pump_port(sw, env, now, gs, port);
+}
+
+/// Crosspoint-switch transmit: the output's crosspoint scheduler picks
+/// an input, the head packet leaves, and the next hop is stamped.
+fn xp_pump_port<E: Env>(sw: &mut Switch, env: &mut E, now: Ps, gs: u32, port: usize) {
+    if sw.ports[port].tx_busy {
+        return;
+    }
+    let now_ns = ps_to_ns(now);
+    let xp = sw
+        .xp
+        .as_mut()
+        .expect("xp_pump_port on a shared-memory switch");
+    let Some(inp) = xp.pick(port) else {
+        return;
+    };
+    let idx = xp.xp(port, inp);
+    let mut pkt = xp.queues[idx]
+        .pop_front()
+        .expect("crosspoint scheduler picked an empty buffer");
+    let wire = pkt.wire_bytes();
+    xp.occ[idx] -= wire;
+    xp.out_occ[port] -= wire;
+    xp.total -= wire;
+    sw.read_rate.record(wire, now_ns);
+    let p = &mut sw.ports[port];
+    let link = p.link;
+    p.tx_busy = true;
+    let ser = tx_time_ps(wire, link.rate_bps);
+    env.push(
+        now + ser,
+        Event::PortFree {
+            switch: gs,
+            port: port as u32,
+        },
+    );
+    pkt.last_hop = encode_hop(NodeId::Switch(gs));
+    env.push_arrival(now + ser + link.prop_ps, link.to, pkt);
+}
+
 /// Dequeues and transmits the scheduler's pick on an idle egress port.
 /// `gs` is the switch's global id (event payloads always carry global
 /// ids); `sw` is its already-resolved storage slot.
 fn pump_port<E: Env>(sw: &mut Switch, env: &mut E, cell: u64, now: Ps, gs: u32, port: usize) {
+    if sw.xp.is_some() {
+        return xp_pump_port(sw, env, now, gs, port);
+    }
     if sw.ports[port].tx_busy {
         return;
     }
@@ -545,7 +641,7 @@ fn pump_port<E: Env>(sw: &mut Switch, env: &mut E, cell: u64, now: Ps, gs: u32, 
     let Some(class) = p.sched.pick(&p.queues) else {
         return;
     };
-    let pkt = p.queues[class]
+    let mut pkt = p.queues[class]
         .pop_front()
         .expect("scheduler picked an empty queue");
     let wire = pkt.wire_bytes();
@@ -571,6 +667,7 @@ fn pump_port<E: Env>(sw: &mut Switch, env: &mut E, cell: u64, now: Ps, gs: u32, 
             port: port as u32,
         },
     );
+    pkt.last_hop = encode_hop(NodeId::Switch(gs));
     env.push_arrival(now + ser + link.prop_ps, link.to, pkt);
 }
 
@@ -704,6 +801,20 @@ fn fault_fire<E: Env>(ctx: &mut Ctx<'_>, env: &mut E, fault: u32) {
 /// down, keeping the partition's occupancy accounting and BM state
 /// consistent and recording each loss with utilization context.
 fn flush_port(sw: &mut Switch, metrics: &mut Metrics, port: usize, now_ns: u64) {
+    let membw = sw.membw_util(now_ns);
+    if let Some(xp) = &mut sw.xp {
+        for inp in 0..xp.n_in {
+            let idx = xp.xp(port, inp);
+            while let Some(pkt) = xp.queues[idx].pop_front() {
+                let wire = pkt.wire_bytes();
+                xp.occ[idx] -= wire;
+                xp.out_occ[port] -= wire;
+                xp.total -= wire;
+                metrics.record_fault_drop(xp.util(), membw);
+            }
+        }
+        return;
+    }
     let pa = sw.port_partition[port];
     for class in 0..sw.classes {
         let qidx = sw.queue_index(port, class);

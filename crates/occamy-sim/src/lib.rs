@@ -55,6 +55,7 @@
 
 mod cbr;
 mod config;
+mod crosspoint;
 mod engine;
 mod event;
 mod faults;
@@ -74,6 +75,7 @@ mod world;
 
 pub use cbr::CbrSource;
 pub use config::SimConfig;
+pub use crosspoint::{Crosspoint, XpSched};
 pub use event::{Event, EventQueue, NodeId, PacketId};
 pub use faults::{
     Drain, FaultKind, FaultSchedule, FaultSpec, HostChurn, LinkFlap, ResilienceCounters,

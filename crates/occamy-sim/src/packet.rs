@@ -44,6 +44,10 @@ pub struct Packet {
     pub prio: u8,
     /// Sender timestamp, echoed in ACKs for RTT estimation.
     pub ts: Ps,
+    /// Encoded previous-hop node (see `crosspoint::encode_hop`),
+    /// stamped at every transmit. Only crosspoint-queued switches read
+    /// it — it is how an arrival finds its input port.
+    pub last_hop: u32,
 }
 
 impl Packet {
@@ -68,6 +72,7 @@ impl Packet {
             ece: false,
             prio,
             ts,
+            last_hop: 0,
         }
     }
 
@@ -93,6 +98,7 @@ impl Packet {
             ece,
             prio,
             ts,
+            last_hop: 0,
         }
     }
 
@@ -110,6 +116,7 @@ impl Packet {
             ece: false,
             prio,
             ts,
+            last_hop: 0,
         }
     }
 }

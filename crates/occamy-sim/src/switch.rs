@@ -1,5 +1,6 @@
 //! The shared-memory switch: ports, class queues, buffer partitions.
 
+use crate::crosspoint::Crosspoint;
 use crate::event::NodeId;
 use crate::packet::Packet;
 use crate::routing::RoutingTable;
@@ -83,6 +84,11 @@ pub struct Switch {
     /// Whether the switch is mid-drain: arrivals refused, buffer
     /// emptying through the normal dequeue path.
     pub draining: bool,
+    /// Crosspoint-queued mode: when present, arrivals and transmits
+    /// route through per-(input, output) crosspoint buffers and the
+    /// shared-memory partitions above stay empty (see
+    /// [`crate::crosspoint`]).
+    pub xp: Option<Crosspoint>,
     /// EWMA of bytes written into the buffer (memory write bandwidth).
     pub write_rate: RateEstimator,
     /// EWMA of bytes read out of the cell data memory.
@@ -167,6 +173,7 @@ mod tests {
             disabled_ports: vec![false; n_ports],
             n_disabled: 0,
             draining: false,
+            xp: None,
             write_rate: RateEstimator::new(10_000, 0.0),
             read_rate: RateEstimator::new(10_000, 0.0),
             total_membw_bps: 2.0 * 10e9 * n_ports as f64,

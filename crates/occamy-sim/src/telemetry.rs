@@ -256,6 +256,12 @@ pub fn emit_snapshot(
                 }
             }
         }
+        if let Some(xp) = &sw.xp {
+            // Crosspoint-queued switches hold their buffer in the
+            // crosspoint FIFOs, not the (empty) partitions.
+            occ += xp.total;
+            cap += xp.total_cap;
+        }
         gauges.push(SwitchGauge {
             switch: sw.id,
             tier: sw.tier,

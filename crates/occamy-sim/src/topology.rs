@@ -222,6 +222,7 @@ pub fn single_switch(c: SingleSwitchCfg) -> World {
         disabled_ports: vec![false; n],
         n_disabled: 0,
         draining: false,
+        xp: None,
         write_rate: RateEstimator::new(10_000, 0.0),
         read_rate: RateEstimator::new(10_000, 0.0),
         total_membw_bps: 2.0 * total_rate as f64,
@@ -921,6 +922,7 @@ fn assemble_switch(
         disabled_ports: vec![false; n],
         n_disabled: 0,
         draining: false,
+        xp: None,
         write_rate: RateEstimator::new(10_000, 0.0),
         read_rate: RateEstimator::new(10_000, 0.0),
         total_membw_bps: 2.0 * total_rate as f64,

@@ -135,6 +135,42 @@ impl World {
         }
     }
 
+    /// Converts every switch to the crosspoint-queued architecture
+    /// (see [`crate::crosspoint`]): each switch's total buffer is
+    /// divided into dedicated per-(input, output) crosspoint FIFOs, its
+    /// shared-memory partitions stay empty, and `sched` picks which
+    /// crosspoint each output serves. Call after the topology builder
+    /// and before injecting workload.
+    ///
+    /// The ingress set of a switch — one input per distinct neighbor
+    /// that can send to it — is derived from the built link graph
+    /// (hosts by their access link, switches by their ports), so the
+    /// map is exact for any topology the builders produce.
+    pub fn enable_crosspoint(&mut self, sched: crate::crosspoint::XpSched) {
+        use crate::crosspoint::{encode_hop, Crosspoint};
+        use crate::NodeId;
+        let mut ingress: Vec<Vec<u32>> = vec![Vec::new(); self.switches.len()];
+        for h in &self.hosts {
+            ingress[h.link.to_switch].push(encode_hop(NodeId::Host(h.id as u32)));
+        }
+        for sw in &self.switches {
+            for p in &sw.ports {
+                if let NodeId::Switch(peer) = p.link.to {
+                    ingress[peer as usize].push(encode_hop(NodeId::Switch(sw.id as u32)));
+                }
+            }
+        }
+        for (si, sw) in self.switches.iter_mut().enumerate() {
+            let total: u64 = sw.partitions.iter().map(|p| p.state.capacity()).sum();
+            sw.xp = Some(Crosspoint::new(
+                sw.ports.len(),
+                std::mem::take(&mut ingress[si]),
+                total,
+                sched,
+            ));
+        }
+    }
+
     // ---------------------------------------------------------------
     // Workload injection
     // ---------------------------------------------------------------

@@ -2,7 +2,7 @@
 //! round-trips to an identical [`SpecDoc`], which is what the spec
 //! round-trip tests pin down.
 
-use crate::model::{FaultClause, Num, QuerySize, SpecDoc, TopologyKind};
+use crate::model::{FaultClause, Num, QuerySize, SpecDoc, SwitchArch, TopologyKind, XpSchedSpec};
 use std::fmt::Write as _;
 
 fn esc(s: &str) -> String {
@@ -87,6 +87,14 @@ impl SpecDoc {
         let _ = writeln!(w, "link_prop_us = {:?}", t.link_prop_us);
         let _ = writeln!(w, "buffer_per_8ports_kb = {}", t.buffer_per_8ports_kb);
         let _ = writeln!(w, "oversubscription = {:?}", t.oversubscription);
+        // Architecture keys appear only when non-default, so canonical
+        // output for pre-existing shared-memory specs is unchanged.
+        if t.switch_arch != SwitchArch::SharedMemory {
+            let _ = writeln!(w, "switch_arch = {}", esc(t.switch_arch.name()));
+        }
+        if t.xp_sched != XpSchedSpec::RoundRobin {
+            let _ = writeln!(w, "xp_sched = {}", esc(t.xp_sched.name()));
+        }
 
         let tr = &self.traffic;
         let _ = writeln!(w, "\n[traffic]");
@@ -258,6 +266,38 @@ csv = "demo.csv"
         assert_eq!(doc, doc2, "round trip changed the document:\n{emitted}");
         // Canonical form is a fixed point.
         assert_eq!(doc2.to_toml(), emitted);
+    }
+
+    #[test]
+    fn crosspoint_arch_survives_round_trip() {
+        let src = r#"
+name = "xp"
+[topology]
+kind = "fat_tree"
+k = 4
+switch_arch = "crosspoint"
+xp_sched = "longest"
+[schemes]
+use = ["BShare", "DAMQ", "Crosspoint"]
+"#;
+        let doc = SpecDoc::from_value(&toml::parse(src).unwrap()).unwrap();
+        let emitted = doc.to_toml();
+        assert!(emitted.contains("switch_arch = \"crosspoint\""));
+        assert!(emitted.contains("xp_sched = \"longest\""));
+        let doc2 = SpecDoc::from_value(&toml::parse(&emitted).unwrap()).unwrap();
+        assert_eq!(doc, doc2);
+        assert_eq!(doc2.to_toml(), emitted);
+    }
+
+    #[test]
+    fn default_arch_keys_are_not_emitted() {
+        // Explicitly writing the defaults canonicalizes to silence, so
+        // pre-existing shared-memory specs re-emit byte-identically.
+        let src = "name = \"x\"\n[topology]\nkind = \"fat_tree\"\nswitch_arch = \"shared_memory\"\nxp_sched = \"round_robin\"\n";
+        let doc = SpecDoc::from_value(&toml::parse(src).unwrap()).unwrap();
+        let emitted = doc.to_toml();
+        assert!(!emitted.contains("switch_arch"));
+        assert!(!emitted.contains("xp_sched"));
     }
 
     #[test]

@@ -35,8 +35,9 @@ mod value;
 pub use error::{Result, SpecError};
 pub use model::{
     default_alpha, AxisSpec, Background, FaultClause, Num, QuerySize, SchemesSpec, SimSpec,
-    SpecDoc, TableSpec, TelemetrySpec, TopologyKind, TopologySection, TrafficSpec, BACKGROUNDS,
-    FAULT_KINDS, KNOBS, METRICS, SCHEMES, TOPOLOGIES,
+    SpecDoc, SwitchArch, TableSpec, TelemetrySpec, TopologyKind, TopologySection, TrafficSpec,
+    XpSchedSpec, BACKGROUNDS, FAULT_KINDS, KNOBS, METRICS, SCHEMES, SWITCH_ARCHS, TOPOLOGIES,
+    XP_SCHEDS,
 };
 pub use value::Value;
 

@@ -45,15 +45,68 @@ pub const SCHEMES: &[&str] = &[
     "Pushout",
     "Static",
     "CompleteSharing",
+    "BShare",
+    "DAMQ",
+    "Crosspoint",
 ];
 
 /// The paper's evaluated `α` for `scheme` (§6.2): Occamy 8, ABM 2,
-/// everything else 1.
+/// everything else 1. BShare gets 8 so its DT safety cap stays out of
+/// the way of its delay-based threshold; DAMQ and the crosspoint
+/// architecture ignore `α` entirely.
 pub fn default_alpha(scheme: &str) -> f64 {
     match scheme {
-        "Occamy" | "OccamyLongest" => 8.0,
+        "Occamy" | "OccamyLongest" | "BShare" => 8.0,
         "ABM" => 2.0,
         _ => 1.0,
+    }
+}
+
+/// Switch buffer architectures (`[topology] switch_arch = …`).
+pub const SWITCH_ARCHS: &[&str] = &["shared_memory", "crosspoint"];
+
+/// Crosspoint schedulers (`[topology] xp_sched = …`), used when
+/// `switch_arch = "crosspoint"` (or the pseudo-scheme `"Crosspoint"`
+/// appears in `[schemes].use`).
+pub const XP_SCHEDS: &[&str] = &["round_robin", "longest"];
+
+/// Switch buffer architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchArch {
+    /// Output-queued shared-memory switch (the paper's model).
+    #[default]
+    SharedMemory,
+    /// Crosspoint-queued switch: dedicated per-(input, output) FIFOs.
+    Crosspoint,
+}
+
+impl SwitchArch {
+    /// The spec spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SwitchArch::SharedMemory => "shared_memory",
+            SwitchArch::Crosspoint => "crosspoint",
+        }
+    }
+}
+
+/// Which crosspoint an output port serves next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum XpSchedSpec {
+    /// Rotate fairly over non-empty inputs.
+    #[default]
+    RoundRobin,
+    /// Serve the fullest crosspoint first (lowest input wins ties).
+    Longest,
+}
+
+impl XpSchedSpec {
+    /// The spec spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            XpSchedSpec::RoundRobin => "round_robin",
+            XpSchedSpec::Longest => "longest",
+        }
     }
 }
 
@@ -268,6 +321,10 @@ pub struct TopologySection {
     pub buffer_per_8ports_kb: u64,
     /// Access-layer oversubscription ratio (≥ 1; sweepable).
     pub oversubscription: f64,
+    /// Switch buffer architecture (default shared-memory).
+    pub switch_arch: SwitchArch,
+    /// Crosspoint scheduler, for the crosspoint architecture.
+    pub xp_sched: XpSchedSpec,
 }
 
 /// Background-traffic kind.
@@ -543,6 +600,8 @@ fn parse_topology(doc: &Value) -> Result<TopologySection> {
         "link_prop_us",
         "buffer_per_8ports_kb",
         "oversubscription",
+        "switch_arch",
+        "xp_sched",
     ];
     let kind = match kind_name {
         "leaf_spine" => {
@@ -635,6 +694,28 @@ fn parse_topology(doc: &Value) -> Result<TopologySection> {
         ))
         .in_context(ctx));
     }
+    let switch_arch = match t.get("switch_arch") {
+        None => SwitchArch::SharedMemory,
+        Some(v) => match v.as_str().map_err(|e| e.in_context(ctx))? {
+            "shared_memory" => SwitchArch::SharedMemory,
+            "crosspoint" => SwitchArch::Crosspoint,
+            other => {
+                return Err(SpecError::unknown(
+                    "switch architecture",
+                    other,
+                    SWITCH_ARCHS,
+                ))
+            }
+        },
+    };
+    let xp_sched = match t.get("xp_sched") {
+        None => XpSchedSpec::RoundRobin,
+        Some(v) => match v.as_str().map_err(|e| e.in_context(ctx))? {
+            "round_robin" => XpSchedSpec::RoundRobin,
+            "longest" => XpSchedSpec::Longest,
+            other => return Err(SpecError::unknown("crosspoint scheduler", other, XP_SCHEDS)),
+        },
+    };
     Ok(TopologySection {
         kind,
         host_rate_gbps,
@@ -642,6 +723,8 @@ fn parse_topology(doc: &Value) -> Result<TopologySection> {
         link_prop_us: positive(ctx, "link_prop_us", get_f64(ctx, t, "link_prop_us", 10.0)?)?,
         buffer_per_8ports_kb: get_u64(ctx, t, "buffer_per_8ports_kb", 1_000)?.max(1),
         oversubscription,
+        switch_arch,
+        xp_sched,
     })
 }
 
@@ -1174,6 +1257,52 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.message().contains("did you mean 'fat_tree'?"), "{e}");
+    }
+
+    #[test]
+    fn typo_in_switch_arch_suggests() {
+        let e = SpecDoc::from_value(
+            &toml::parse(
+                "name = \"x\"\n[topology]\nkind = \"fat_tree\"\nswitch_arch = \"crosspont\"\n",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message().contains("did you mean 'crosspoint'?"), "{e}");
+    }
+
+    #[test]
+    fn typo_in_xp_sched_suggests() {
+        let e = SpecDoc::from_value(
+            &toml::parse(
+                "name = \"x\"\n[topology]\nkind = \"fat_tree\"\nxp_sched = \"round_robbin\"\n",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message().contains("did you mean 'round_robin'?"), "{e}");
+    }
+
+    #[test]
+    fn new_schemes_parse_and_typos_suggest() {
+        let ok = SpecDoc::from_value(
+            &toml::parse(
+                "name = \"x\"\n[topology]\nkind = \"fat_tree\"\n[schemes]\nuse = [\"BShare\", \"DAMQ\", \"Crosspoint\"]\n",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ok.schemes.schemes, vec!["BShare", "DAMQ", "Crosspoint"]);
+        assert_eq!(super::default_alpha("BShare"), 8.0);
+        assert_eq!(super::default_alpha("DAMQ"), 1.0);
+        let e = SpecDoc::from_value(
+            &toml::parse(
+                "name = \"x\"\n[topology]\nkind = \"fat_tree\"\n[schemes]\nuse = [\"BSharre\"]\n",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message().contains("did you mean 'BShare'?"), "{e}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the few entry points it needs — [`rngs::StdRng`],
-//! [`SeedableRng::seed_from_u64`] and [`Rng::gen_range`] — behind the
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] and
+//! [`Rng::gen_bool`] — behind the
 //! same paths as the real crate. Swapping back to upstream `rand` is a
 //! one-line change in each `Cargo.toml`.
 //!
