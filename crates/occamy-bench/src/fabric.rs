@@ -14,7 +14,7 @@
 use crate::report::{aggregate, IdealFct, RunResult};
 use crate::scenario::Scale;
 use crate::scenarios::{inject_fabric_workload, BgPattern, LeafSpineScenario};
-use occamy_core::BmKind;
+use occamy_core::{BmKind, BmTuning};
 use occamy_sim::topology::{
     fat_tree, leaf_spine, three_tier, BmSpec, FatTreeCfg, LeafSpineCfg, SchedKind, ThreeTierCfg,
 };
@@ -93,6 +93,9 @@ pub struct FabricScenario {
     pub bm: BmKind,
     /// DT/ABM/Occamy `α`.
     pub alpha: f64,
+    /// Scheme-specific tuning (BShare delay target, DAMQ reserve
+    /// split); the default reproduces each scheme's paper constants.
+    pub tuning: BmTuning,
     /// Host access-link rate.
     pub host_rate_bps: u64,
     /// Switch-to-switch link rate before oversubscription.
@@ -144,6 +147,7 @@ impl FabricScenario {
             topo,
             bm,
             alpha,
+            tuning: BmTuning::default(),
             host_rate_bps: ls.link_rate_bps,
             fabric_rate_bps: ls.fabric_rate_bps,
             oversubscription: 1.0,
@@ -210,6 +214,7 @@ impl FabricScenario {
         Some(LeafSpineScenario {
             bm: self.bm,
             alpha: self.alpha,
+            tuning: self.tuning,
             spines,
             leaves,
             hosts_per_leaf,
@@ -237,6 +242,7 @@ impl FabricScenario {
         let bm = BmSpec {
             kind: self.bm,
             alpha_per_class: vec![self.alpha],
+            tuning: self.tuning,
         };
         let mut world = match self.topo {
             // Reached only for crosspoint worlds; shared-memory

@@ -77,14 +77,11 @@ impl Scenario for Fig06 {
             prop_ps: US,
             buffer_bytes: BUFFER,
             classes: 8,
-            bm: BmSpec {
-                kind: BmKind::Dt,
-                alpha_per_class: {
-                    let mut a = vec![1.0; 8];
-                    a[0] = hp_alpha;
-                    a
-                },
-            },
+            bm: BmSpec::per_class(BmKind::Dt, {
+                let mut a = vec![1.0; 8];
+                a[0] = hp_alpha;
+                a
+            }),
             sched: SchedKind::StrictPriority,
             sim: SimConfig {
                 min_rto: 10 * MS,

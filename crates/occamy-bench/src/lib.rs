@@ -28,7 +28,14 @@
 //! - [`shard`] — splits a grid into self-contained shard plan files,
 //!   executes them independently (possibly on different machines) and
 //!   merges the partial results into the byte-identical report a direct
-//!   run produces (`occamy-bench shard plan|run|merge`).
+//!   run produces (`occamy-bench shard plan|run|merge`); `shard run
+//!   --resume` journals each finished cell so a killed shard restarts
+//!   from where it stopped;
+//! - [`fleet`] — the supervising coordinator (`occamy-bench fleet`):
+//!   spawns one `shard run --resume` worker process per shard, monitors
+//!   heartbeats, retries dead or hung workers with capped exponential
+//!   backoff and merges the survivors;
+//! - [`retry`] — the shared capped-backoff retry helper behind both.
 //!
 //! # CLI
 //!
@@ -48,9 +55,11 @@
 
 pub mod fabric;
 pub mod figs;
+pub mod fleet;
 pub mod live;
 pub mod registry;
 pub mod report;
+pub mod retry;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;

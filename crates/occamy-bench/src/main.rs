@@ -5,8 +5,9 @@
 //! occamy-bench run <name...> [--spec FILE...] [--quick|--smoke] [--serial] [--threads N]
 //! occamy-bench all [--quick|--smoke] [--serial] [--threads N]
 //! occamy-bench shard plan <name> | --spec FILE  --shards N [--quick|--smoke] [--out-dir DIR]
-//! occamy-bench shard run <plan.json> [--serial] [--out FILE]
-//! occamy-bench shard merge <partial.json...> [--out-dir DIR]
+//! occamy-bench shard run <plan.json> [--serial] [--out FILE] [--resume]
+//! occamy-bench shard merge <partial.json | journal.cells.jsonl ...> [--out-dir DIR]
+//! occamy-bench fleet <plan-dir> | <name> | --spec FILE [--workers N] [--retries N] [--timeout-s S]
 //! occamy-bench watch <dir>
 //! ```
 //!
@@ -20,8 +21,12 @@
 //! The `shard` subcommands split one scenario's grid into self-contained
 //! plan files, execute them independently (any machine with this binary)
 //! and merge the partial results into the byte-identical report a direct
-//! run produces — see `occamy_bench::shard`.
+//! run produces — see `occamy_bench::shard`. `fleet` supervises a whole
+//! plan set on this machine: one worker process per shard, crash/hang
+//! detection, resume-from-journal retries and a final merge — see
+//! `occamy_bench::fleet`.
 
+use occamy_bench::fleet::{self, FleetOptions};
 use occamy_bench::registry::{find_scenario, registry};
 use occamy_bench::runner;
 use occamy_bench::scenario::{Scale, Scenario};
@@ -43,12 +48,26 @@ commands:
                        shard files (shards/<name>.shard-<i>.json);
                        use --spec FILE instead of a name for spec runs
   shard run <file>     execute one shard plan, writing the partial
-                       result next to it (<plan>.result.json)
-  shard merge <f...>   merge partial results into the byte-identical
-                       BENCH_<name>.json + results/*.csv of a direct run
+                       result next to it (<plan>.result.json) and
+                       journaling each finished cell to
+                       <plan>.cells.jsonl; with --resume, skip the
+                       cells an interrupted run already journaled
+  shard merge <f...>   merge partial results (or .cells.jsonl journals)
+                       into the byte-identical BENCH_<name>.json +
+                       results/*.csv of a direct run
+  fleet <dir|name>     run a whole plan set under supervision: one
+                       `shard run --resume` worker process per shard,
+                       crashed/hung workers retried with backoff from
+                       their journals, then merged; <dir> holds
+                       existing plans, or give a name / --spec FILE
+                       with --shards N to plan first. Writes live
+                       progress to <dir>/fleet.status.json (watch
+                       renders it)
   watch <dir>          live terminal dashboard tailing the telemetry
                        streams (results/*_telemetry.jsonl) of a run
-                       started with --telemetry; exits when quiet
+                       started with --telemetry, plus the fleet
+                       progress table of a fleet.status.json; exits
+                       when quiet
 
 options:
   --spec FILE          load a declarative scenario spec (.toml/.json);
@@ -61,9 +80,17 @@ options:
                        runs domain-decomposed on up to N threads with
                        bit-identical results (`--serial --threads 8`
                        = sequential cells, 8-way parallel simulation)
-  --shards N           shard count for `shard plan`
+  --shards N           shard count for `shard plan` / planning `fleet`
+  --resume             `shard run`: validate <plan>.cells.jsonl and
+                       recompute only the cells it lacks
+  --workers N          `fleet`: max concurrent worker processes
+                       (default: min(shards, cores))
+  --retries N          `fleet`: re-dispatches per shard after a crash
+                       or hang (default 2)
+  --timeout-s S        `fleet`: kill and retry a worker whose heartbeat
+                       makes no progress for S seconds (default: off)
   --out-dir DIR        output directory (`shard plan`: default shards/;
-                       `shard merge`: default .)
+                       `shard merge` / `fleet`: default .)
   --out FILE           partial-result path for `shard run`
   --freeze-perf        zero all wall-clock perf fields so reports are
                        byte-reproducible (also: OCCAMY_FREEZE_PERF=1)
@@ -86,6 +113,10 @@ struct Args {
     shards: Option<usize>,
     out_dir: Option<String>,
     out: Option<String>,
+    resume: bool,
+    workers: usize,
+    retries: u32,
+    timeout_s: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,6 +128,10 @@ fn parse_args() -> Result<Args, String> {
     let mut shards = None;
     let mut out_dir = None;
     let mut out = None;
+    let mut resume = false;
+    let mut workers = 0usize;
+    let mut retries = 2u32;
+    let mut timeout_s = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -126,6 +161,26 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => {
                 out = Some(args.next().ok_or("--out needs a file path")?);
+            }
+            "--resume" => resume = true,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--workers needs a positive integer")?;
+            }
+            "--retries" => {
+                retries = args
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .ok_or("--retries needs a non-negative integer")?;
+            }
+            "--timeout-s" => {
+                timeout_s = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or("--timeout-s needs a non-negative integer")?;
             }
             "--threads" => {
                 let n = args
@@ -159,6 +214,10 @@ fn parse_args() -> Result<Args, String> {
         shards,
         out_dir,
         out,
+        resume,
+        workers,
+        retries,
+        timeout_s,
     })
 }
 
@@ -260,7 +319,7 @@ fn shard_command(args: &Args) -> Result<(), String> {
             let sink = occamy_bench::telemetry_enabled().then(|| {
                 occamy_bench::live::TelemetrySink::start(Path::new("."), occamy_bench::live_mode())
             });
-            let result = shard::run_shard(Path::new(file), args.parallel, out);
+            let result = shard::run_shard(Path::new(file), args.parallel, out, args.resume);
             if let Some(sink) = sink {
                 sink.finish();
             }
@@ -282,6 +341,59 @@ fn shard_command(args: &Args) -> Result<(), String> {
             "unknown shard subcommand '{other}' (expected plan, run or merge)"
         )),
     }
+}
+
+/// `occamy-bench fleet`: resolve the plan set (an existing plan
+/// directory, or plan one first from a scenario name / `--spec`), then
+/// run it under supervision and merge.
+fn fleet_command(args: &Args) -> Result<(), String> {
+    let plans = match (args.names.as_slice(), args.specs.as_slice()) {
+        ([dir], []) if Path::new(dir).is_dir() => fleet::plans_in_dir(Path::new(dir))?,
+        ([name], []) => {
+            let source = ShardSource::from_name(name)?;
+            plan_for_fleet(args, &source)?
+        }
+        ([], [spec]) => {
+            let source = ShardSource::Spec(spec);
+            plan_for_fleet(args, &source)?
+        }
+        ([], []) => {
+            return Err(
+                "`fleet` needs a plan directory, a scenario name or one --spec FILE".to_string(),
+            )
+        }
+        _ => {
+            return Err(
+                "`fleet` takes exactly one plan directory, scenario name or --spec FILE"
+                    .to_string(),
+            )
+        }
+    };
+    let opts = FleetOptions {
+        workers: args.workers,
+        retries: args.retries,
+        timeout: std::time::Duration::from_secs(args.timeout_s),
+        serial_workers: !args.parallel,
+        out_root: PathBuf::from(args.out_dir.clone().unwrap_or_else(|| ".".to_string())),
+    };
+    let merged = fleet::fleet(&plans, &opts)?;
+    println!("wrote {}", merged.display());
+    Ok(())
+}
+
+/// Plans a fresh shard set for `fleet <name>` / `fleet --spec FILE`
+/// into `shards/` (the `shard plan` default).
+fn plan_for_fleet(args: &Args, source: &ShardSource) -> Result<Vec<PathBuf>, String> {
+    let shards = args
+        .shards
+        .ok_or("planning a fleet needs --shards N (or point it at an existing plan dir)")?;
+    let paths = shard::plan(source, args.scale, shards, Path::new("shards"))?;
+    println!(
+        "planned '{}' ({} scale) into {shards} shards under shards/",
+        source.scenario().name(),
+        args.scale
+    );
+    Ok(paths)
 }
 
 fn main() -> ExitCode {
@@ -335,6 +447,13 @@ fn main() -> ExitCode {
             run(selected, args.scale, args.parallel)
         }
         "shard" => match shard_command(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "fleet" => match fleet_command(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

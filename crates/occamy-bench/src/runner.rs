@@ -294,27 +294,32 @@ pub fn run_cells(
 }
 
 /// [`run_cells`] with a completion callback, invoked (possibly from
-/// worker threads — it must be `Sync`) right after each cell finishes.
-/// `shard run` uses it to keep its heartbeat file current, so a
-/// stalled or killed shard is detectable from the outside.
+/// worker threads — it must be `Sync`) right after each cell finishes,
+/// with the cell's full outcome. `shard run` uses it to keep its
+/// heartbeat file current and to journal the outcome, so a stalled or
+/// killed shard is detectable — and resumable — from the outside.
+///
+/// Perf fields are frozen *before* the callback fires (not only in the
+/// final batch pass), so anything the callback persists — the resume
+/// journal in particular — carries the same zeroed `wall`/`rss` a
+/// frozen direct run records, keeping resumed merges byte-identical.
 pub fn run_cells_with(
     scenario: &'static dyn Scenario,
     cells: &[CellSpec],
     parallel: bool,
-    on_cell_done: &(dyn Fn(&CellSpec) + Sync),
+    on_cell_done: &(dyn Fn(&CellOutcome) + Sync),
 ) -> Vec<CellOutcome> {
     let run_one = |spec: &CellSpec| -> CellOutcome {
-        let outcome = run_cell(scenario, spec, cells.len());
-        on_cell_done(spec);
+        let mut outcome = run_cell(scenario, spec, cells.len());
+        freeze_walls(std::slice::from_mut(&mut outcome));
+        on_cell_done(&outcome);
         outcome
     };
-    let mut outcomes: Vec<CellOutcome> = if parallel {
+    if parallel {
         cells.par_iter().map(run_one).collect()
     } else {
         cells.iter().map(run_one).collect()
-    };
-    freeze_walls(&mut outcomes);
-    outcomes
+    }
 }
 
 /// Reassembles a scenario's outcomes into grid order and folds them

@@ -1,7 +1,7 @@
 //! Scenario builders shared by the figure binaries.
 
 use crate::report::{aggregate, IdealFct, RunResult};
-use occamy_core::BmKind;
+use occamy_core::{BmKind, BmTuning};
 use occamy_sim::topology::{
     leaf_spine, single_switch, BmSpec, LeafSpineCfg, SchedKind, SingleSwitchCfg,
 };
@@ -174,10 +174,7 @@ impl TestbedScenario {
             prop_ps: US,
             buffer_bytes: self.buffer_bytes,
             classes: self.classes,
-            bm: BmSpec {
-                kind: self.bm,
-                alpha_per_class: self.alpha_per_class.clone(),
-            },
+            bm: BmSpec::per_class(self.bm, self.alpha_per_class.clone()),
             sched: self.sched,
             sim: self.sim.clone(),
         })
@@ -247,6 +244,9 @@ pub struct LeafSpineScenario {
     pub bm: BmKind,
     /// DT/Occamy/ABM `α`.
     pub alpha: f64,
+    /// Scheme-specific tuning (BShare delay target, DAMQ reserve
+    /// split); the default reproduces each scheme's paper constants.
+    pub tuning: BmTuning,
     /// Spine count.
     pub spines: usize,
     /// Leaf count.
@@ -293,6 +293,7 @@ impl LeafSpineScenario {
         LeafSpineScenario {
             bm,
             alpha,
+            tuning: BmTuning::default(),
             spines: 4,
             leaves: 4,
             hosts_per_leaf: 8,
@@ -344,6 +345,7 @@ impl LeafSpineScenario {
             bm: BmSpec {
                 kind: self.bm,
                 alpha_per_class: vec![self.alpha],
+                tuning: self.tuning,
             },
             sched: SchedKind::Fifo,
             sim: self.sim.clone(),

@@ -17,13 +17,20 @@
 //!    but the plan file and the binary.
 //! 2. [`run_shard`] executes one plan file with the same parallel
 //!    runner a direct `run` uses ([`crate::runner::run_cells`]) and
-//!    writes a partial-result file (`….result.json`).
+//!    writes a partial-result file (`….result.json`). Along the way it
+//!    journals every finished cell to an append-only per-shard journal
+//!    (`….cells.jsonl`, rewritten via temp-file + rename so a kill at
+//!    any instant never leaves a torn line); with `--resume` a
+//!    restarted run validates the journal and recomputes only the
+//!    cells not yet journaled.
 //! 3. [`merge`] validates and reunites the partials — every shard
 //!    present exactly once, every grid cell covered exactly once, no
 //!    version or header drift — and feeds them through the same
 //!    assembly path as a direct run ([`crate::runner::assemble`] +
 //!    [`render_into`]), emitting the byte-identical `BENCH_<name>.json`
-//!    and `results/*.csv`.
+//!    and `results/*.csv`. Journals are accepted in place of
+//!    monolithic partials: `shard merge shards/*.cells.jsonl` applies
+//!    the same exactly-once coverage validation to them.
 //!
 //! Byte-identity is enforced by `tests/shard_equivalence.rs` and the CI
 //! `shard-equivalence` job, which `cmp` a merged 3-shard fig12 run
@@ -38,12 +45,21 @@
 //! cells.
 
 use crate::registry::{find_scenario, registry};
+use crate::retry::retry_with_backoff;
 use crate::runner;
 use crate::scenario::{CellOutcome, CellResult, CellSpec, Scale, Scenario, Series, Value};
 use crate::spec_scenario::SpecScenario;
 use occamy_stats::Json;
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// Attempts and backoff for result-artifact writes (partials and
+/// journal appends): a transient I/O failure would throw away simulated
+/// work, so writes retry a few times before giving up.
+const WRITE_ATTEMPTS: u32 = 3;
+const WRITE_BACKOFF_BASE: Duration = Duration::from_millis(100);
+const WRITE_BACKOFF_CAP: Duration = Duration::from_secs(2);
 
 /// Format version stamped into every shard file. Bump it when the file
 /// layout changes; [`run_shard`] and [`merge`] refuse files from other
@@ -306,16 +322,17 @@ fn decode_series(ctx: &str, j: &Json) -> Result<Series, String> {
 // File headers
 // -------------------------------------------------------------------
 
-/// The parsed, version-checked header shared by plan and partial files.
-struct ShardFile {
-    path: PathBuf,
-    scenario: String,
+/// The parsed, version-checked header shared by plan, partial and
+/// journal files.
+pub(crate) struct ShardFile {
+    pub(crate) path: PathBuf,
+    pub(crate) scenario: String,
     source: String,
     spec_toml: Option<String>,
-    scale: Scale,
-    shard: usize,
-    shards: usize,
-    total_cells: usize,
+    pub(crate) scale: Scale,
+    pub(crate) shard: usize,
+    pub(crate) shards: usize,
+    pub(crate) total_cells: usize,
     doc: Json,
 }
 
@@ -356,11 +373,19 @@ fn header_json(
 /// truncated upload fails here, naming the file), the supported format
 /// version, the expected kind (`plan` / `partial`) and a complete,
 /// well-typed header.
-fn read_shard_file(path: &Path, expect_kind: &str) -> Result<ShardFile, String> {
+pub(crate) fn read_shard_file(path: &Path, expect_kind: &str) -> Result<ShardFile, String> {
     let ctx = format!("shard file {}", path.display());
     let text = std::fs::read_to_string(path).map_err(|e| format!("{ctx}: {e}"))?;
     let doc = Json::parse(&text)
         .map_err(|e| format!("{ctx}: not valid JSON ({e}) — truncated or corrupted?"))?;
+    validate_shard_doc(path, doc, expect_kind)
+}
+
+/// The header-validation half of [`read_shard_file`], shared with the
+/// journal reader (whose header is the first line of a JSONL stream,
+/// not a whole file).
+fn validate_shard_doc(path: &Path, doc: Json, expect_kind: &str) -> Result<ShardFile, String> {
+    let ctx = format!("shard file {}", path.display());
     let format = doc
         .get("format")
         .and_then(Json::as_u64)
@@ -585,16 +610,253 @@ fn write_heartbeat(
     .write_to(path);
 }
 
+// -------------------------------------------------------------------
+// The resume journal
+// -------------------------------------------------------------------
+
+/// The per-shard resume journal for a plan file:
+/// `<plan stem>.cells.jsonl` next to it. Line 1 is the shard header
+/// (kind `journal`); every further line is one finished cell's encoded
+/// outcome. `shard run` appends as cells complete; `shard run --resume`
+/// replays the journal and recomputes only the cells it lacks; `shard
+/// merge` accepts journals in place of partial-result files.
+pub fn journal_path(plan_path: &Path) -> PathBuf {
+    let s = plan_path.to_string_lossy();
+    match s.strip_suffix(".json") {
+        Some(stem) => PathBuf::from(format!("{stem}.cells.jsonl")),
+        None => PathBuf::from(format!("{s}.cells.jsonl")),
+    }
+}
+
+fn is_journal_path(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.ends_with(".cells.jsonl"))
+}
+
+/// Crash-safe append-only journal writer. The full journal text is held
+/// in memory; every append rewrites a sibling temp file and renames it
+/// over the journal, so a SIGKILL at any instant leaves either the
+/// previous complete journal or the new complete journal on disk —
+/// never a half-written last line. (Journals are small — one line per
+/// grid cell — so the rewrite cost is noise next to simulating a cell.)
+struct JournalWriter {
+    path: PathBuf,
+    text: String,
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal containing only the header line,
+    /// overwriting any stale journal from a previous (non-`--resume`)
+    /// run of the same plan.
+    fn create(path: PathBuf, header: &Json) -> Result<JournalWriter, String> {
+        let mut w = JournalWriter {
+            path,
+            text: String::new(),
+        };
+        w.append_line(&header.render())?;
+        Ok(w)
+    }
+
+    /// Reopens a validated journal for appending; `text` is its current
+    /// on-disk content (header + outcome lines).
+    fn resume(path: PathBuf, text: String) -> JournalWriter {
+        debug_assert!(text.ends_with('\n'), "validated journals end in \\n");
+        JournalWriter { path, text }
+    }
+
+    fn append_line(&mut self, line: &str) -> Result<(), String> {
+        self.text.push_str(line);
+        self.text.push('\n');
+        let tmp = self.path.with_extension("jsonl.tmp");
+        retry_with_backoff(
+            &format!("journal write {}", self.path.display()),
+            WRITE_ATTEMPTS,
+            WRITE_BACKOFF_BASE,
+            WRITE_BACKOFF_CAP,
+            || {
+                std::fs::write(&tmp, &self.text)?;
+                std::fs::rename(&tmp, &self.path)
+            },
+        )
+    }
+}
+
+/// Reads and validates a resume journal: a version-checked `journal`
+/// header line, then one well-formed outcome per line, each cell
+/// belonging to the journal's shard and appearing at most once. Returns
+/// the header, the outcomes and the raw text (for reopening in append
+/// mode). Every corruption mode fails naming the journal and its shard:
+/// a file not ending in a newline (truncated mid-write — impossible
+/// under this writer, but external copies can truncate), an unparseable
+/// or half-written line, a duplicated cell, a foreign shard's cell.
+fn read_journal(path: &Path) -> Result<(ShardFile, Vec<CellOutcome>, String), String> {
+    let ctx = format!("journal {}", path.display());
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{ctx}: {e}"))?;
+    if !text.ends_with('\n') {
+        return Err(format!(
+            "{ctx}: does not end in a newline — truncated mid-write; \
+             delete it and re-run the shard from its plan"
+        ));
+    }
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| format!("{ctx}: empty — no header line"))?;
+    let header_doc = Json::parse(header_line)
+        .map_err(|e| format!("{ctx}: header line is not valid JSON ({e})"))?;
+    let header = validate_shard_doc(path, header_doc, "journal")?;
+    let shard = header.shard;
+    let mut outcomes: Vec<CellOutcome> = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    for (n, line) in lines.enumerate() {
+        let lctx = format!("{ctx}: line {} (shard {shard})", n + 2);
+        let j = Json::parse(line)
+            .map_err(|e| format!("{lctx}: not valid JSON ({e}) — corrupted journal"))?;
+        let o = decode_outcome(&lctx, &j, header.scale)?;
+        if o.spec.index % header.shards != shard {
+            return Err(format!(
+                "{lctx}: cell {} belongs to shard {}, not shard {shard} — \
+                 journals were mixed up",
+                o.spec.index,
+                o.spec.index % header.shards
+            ));
+        }
+        if !seen.insert(o.spec.index) {
+            return Err(format!(
+                "{lctx}: cell {} already journaled earlier in shard {shard}'s journal — \
+                 duplicated line; delete the journal and re-run the shard",
+                o.spec.index
+            ));
+        }
+        outcomes.push(o);
+    }
+    Ok((header, outcomes, text))
+}
+
+/// Checks that two shard headers describe the same shard of the same
+/// plan; `what` and `against` name the files in the error.
+fn check_same_shard(a: &ShardFile, b: &ShardFile) -> Result<(), String> {
+    for (what, x, y) in [
+        ("scenario", a.scenario.as_str(), b.scenario.as_str()),
+        ("source", a.source.as_str(), b.source.as_str()),
+    ] {
+        if x != y {
+            return Err(format!(
+                "{}: {what} '{x}' does not match '{y}' from {}",
+                a.ctx(),
+                b.path.display()
+            ));
+        }
+    }
+    if a.scale != b.scale
+        || a.shard != b.shard
+        || a.shards != b.shards
+        || a.total_cells != b.total_cells
+    {
+        return Err(format!(
+            "{}: header (scale {}, shard {} of {}, {} cells) does not match {} \
+             (scale {}, shard {} of {}, {} cells)",
+            a.ctx(),
+            a.scale,
+            a.shard,
+            a.shards,
+            a.total_cells,
+            b.path.display(),
+            b.scale,
+            b.shard,
+            b.shards,
+            b.total_cells
+        ));
+    }
+    if a.spec_toml != b.spec_toml {
+        return Err(format!(
+            "{}: embedded spec differs from {}",
+            a.ctx(),
+            b.path.display()
+        ));
+    }
+    Ok(())
+}
+
+/// Checks one cell's identity (seed + grid label) against this binary's
+/// reference grid — the guard that keeps a drifted or tampered file
+/// from poisoning a merged report.
+fn check_cell_matches(ctx: &str, cell: &CellSpec, reference: &[CellSpec]) -> Result<(), String> {
+    let Some(expect) = reference.get(cell.index) else {
+        return Err(format!(
+            "{ctx}: cell index {} outside the {}-cell grid",
+            cell.index,
+            reference.len()
+        ));
+    };
+    if expect.seed != cell.seed || expect.label() != cell.label() {
+        return Err(format!(
+            "{ctx}: cell {} disagrees with this binary's grid \
+             (file: seed {} [{}], binary: seed {} [{}]) — regenerate the plan",
+            cell.index,
+            cell.seed,
+            cell.label(),
+            expect.seed,
+            expect.label()
+        ));
+    }
+    Ok(())
+}
+
+/// Deterministic crash hook for the fleet-resilience tests:
+/// `OCCAMY_SHARD_KILL_AFTER="<shard>:<k>"` makes a `shard run` of shard
+/// `<shard>` SIGKILL itself after journaling `<k>` cells — but only
+/// when it started with an empty journal, so the fleet's retried,
+/// resumed attempt runs to completion. Returns the `k` applying to
+/// this run, if any.
+fn kill_after(shard: usize, journaled_at_start: usize) -> Option<usize> {
+    let spec = std::env::var("OCCAMY_SHARD_KILL_AFTER").ok()?;
+    if journaled_at_start > 0 {
+        return None;
+    }
+    let (s, k) = spec.split_once(':')?;
+    let (s, k) = (
+        s.trim().parse::<usize>().ok()?,
+        k.trim().parse::<usize>().ok()?,
+    );
+    (s == shard && k > 0).then_some(k)
+}
+
+/// Dies the way a crashed worker dies: SIGKILL (no destructors, no
+/// partial write, journal left as-is). Falls back to an abrupt exit
+/// with SIGKILL's conventional status where no `kill` binary exists.
+fn kill_self_for_test() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    std::process::exit(137);
+}
+
 /// Executes one shard plan file with the shared parallel runner and
 /// writes the partial-result file (default: [`default_partial_path`]).
 /// Returns the partial's path.
+///
+/// Every finished cell is journaled to [`journal_path`] as it
+/// completes. With `resume`, an existing journal is validated (against
+/// the plan header *and* this binary's reference grid) and its cells
+/// are skipped — a shard killed mid-run finishes the rest of its work
+/// on restart and produces the byte-identical partial a single
+/// uninterrupted run writes. Without `resume`, a stale journal is
+/// overwritten and every cell runs.
 ///
 /// Before running, every cell is cross-checked against the grid this
 /// binary generates for the same scenario and scale: a seed or
 /// parameter mismatch means the plan came from a different code version
 /// (or was tampered with), and silently running it would poison the
 /// merged report.
-pub fn run_shard(plan_path: &Path, parallel: bool, out: Option<&Path>) -> Result<PathBuf, String> {
+pub fn run_shard(
+    plan_path: &Path,
+    parallel: bool,
+    out: Option<&Path>,
+    resume: bool,
+) -> Result<PathBuf, String> {
     let file = read_shard_file(plan_path, "plan")?;
     let scenario = resolve_scenario(&file)?;
     let ctx = file.ctx();
@@ -617,37 +879,114 @@ pub fn run_shard(plan_path: &Path, parallel: bool, out: Option<&Path>) -> Result
         ));
     }
     for cell in &cells {
-        let Some(expect) = reference.get(cell.index) else {
-            return Err(format!(
-                "{ctx}: cell index {} outside the {}-cell grid",
-                cell.index,
-                reference.len()
-            ));
-        };
-        if expect.seed != cell.seed || expect.label() != cell.label() {
-            return Err(format!(
-                "{ctx}: cell {} disagrees with this binary's grid \
-                 (plan: seed {} [{}], binary: seed {} [{}]) — regenerate the plan",
-                cell.index,
-                cell.seed,
-                cell.label(),
-                expect.seed,
-                expect.label()
-            ));
-        }
+        check_cell_matches(&ctx, cell, &reference)?;
     }
-    // Heartbeat: written once up front (0 cells done — proves the shard
-    // started), then rewritten after every completed cell. Serialized
-    // by the mutex because cells complete on rayon workers.
+
+    // Resume: replay a validated journal and run only the cells it
+    // lacks. The journal's header must match the plan and every
+    // journaled cell must match the reference grid — anything else is
+    // a stale or foreign journal and fails loudly rather than welding
+    // wrong results into the partial.
+    let jpath = journal_path(plan_path);
+    let mut journaled: Vec<CellOutcome> = Vec::new();
+    let journal = if resume && jpath.exists() {
+        let (jheader, mut outcomes, text) = read_journal(&jpath)?;
+        check_same_shard(&jheader, &file).map_err(|e| {
+            format!("{e} — the journal belongs to a different plan; delete it and re-run")
+        })?;
+        let planned_idx: HashSet<usize> = cells.iter().map(|c| c.index).collect();
+        for o in &outcomes {
+            check_cell_matches(&jheader.ctx(), &o.spec, &reference)?;
+            if !planned_idx.contains(&o.spec.index) {
+                return Err(format!(
+                    "{}: cell {} is not assigned to shard {} by the plan — \
+                     stale journal; delete it and re-run",
+                    jheader.ctx(),
+                    o.spec.index,
+                    file.shard
+                ));
+            }
+        }
+        // A journal written by an unfrozen run must not leak wall-clock
+        // values into a frozen resume's outputs.
+        if crate::freeze_perf() {
+            for o in &mut outcomes {
+                o.wall = Duration::ZERO;
+                o.rss = 0;
+            }
+        }
+        println!(
+            "resuming shard {} of '{}': {} of {} cells journaled, {} to run",
+            file.shard,
+            file.scenario,
+            outcomes.len(),
+            cells.len(),
+            cells.len() - outcomes.len()
+        );
+        journaled = outcomes;
+        JournalWriter::resume(jpath, text)
+    } else {
+        // The journal header is the plan's header verbatim (minus the
+        // cell list), kind flipped — exactly how the partial's header
+        // is built, so merge validates all three the same way.
+        let Json::Obj(plan_fields) = &file.doc else {
+            unreachable!("parsed shard file is an object");
+        };
+        let header: Vec<(String, Json)> = plan_fields
+            .iter()
+            .filter(|(k, _)| k != "cells")
+            .map(|(k, v)| match k.as_str() {
+                "kind" => ("kind".to_string(), Json::from("journal")),
+                _ => (k.clone(), v.clone()),
+            })
+            .collect();
+        JournalWriter::create(jpath, &Json::Obj(header))?
+    };
+
+    let done_idx: HashSet<usize> = journaled.iter().map(|o| o.spec.index).collect();
+    let remaining: Vec<CellSpec> = cells
+        .iter()
+        .filter(|c| !done_idx.contains(&c.index))
+        .cloned()
+        .collect();
+
+    // Heartbeat: written once up front (proving the shard started, and
+    // carrying any resumed progress), then rewritten after every
+    // completed cell. Journal appends and heartbeats share the mutex
+    // because cells complete on rayon workers.
     let hb_path = heartbeat_path(plan_path);
     let planned = cells.len();
-    write_heartbeat(&hb_path, &file, planned, 0, None);
-    let hb_state = std::sync::Mutex::new(0usize);
-    let outcomes = runner::run_cells_with(scenario, &cells, parallel, &|spec| {
-        let mut done = hb_state.lock().unwrap();
+    let base_done = journaled.len();
+    write_heartbeat(
+        &hb_path,
+        &file,
+        planned,
+        base_done,
+        journaled.last().map(|o| o.spec.index),
+    );
+    let kill = kill_after(file.shard, base_done);
+    let state = std::sync::Mutex::new((base_done, journal));
+    let new_outcomes = runner::run_cells_with(scenario, &remaining, parallel, &|o| {
+        let mut guard = state.lock().unwrap();
+        let (done, journal) = &mut *guard;
+        // A failed journal append costs resumability, never the run:
+        // the partial below still carries the cell.
+        if let Err(e) = journal.append_line(&encode_outcome(o).render()) {
+            eprintln!("warning: cell {} not journaled: {e}", o.spec.index);
+        }
         *done += 1;
-        write_heartbeat(&hb_path, &file, planned, *done, Some(spec.index));
+        write_heartbeat(&hb_path, &file, planned, *done, Some(o.spec.index));
+        if kill == Some(*done - base_done) {
+            kill_self_for_test();
+        }
     });
+    drop(state);
+    let mut outcomes = journaled;
+    outcomes.extend(new_outcomes);
+    // Journal order on a resumed run is replayed-then-recomputed, not
+    // grid order; restore grid order so the partial is byte-identical
+    // to an uninterrupted run's.
+    outcomes.sort_by_key(|o| o.spec.index);
     let mut fields = Vec::with_capacity(12);
     let Json::Obj(header) = &file.doc else {
         unreachable!("parsed shard file is an object");
@@ -669,27 +1008,23 @@ pub fn run_shard(plan_path: &Path, parallel: bool, out: Option<&Path>) -> Result
         .map(Path::to_path_buf)
         .unwrap_or_else(|| default_partial_path(plan_path));
     let doc = Json::Obj(fields);
-    if let Err(first) = doc.write_to(&path) {
-        // A transient I/O failure here would throw away a whole shard of
-        // simulated cells, so retry the write once before giving up —
-        // and name the cells at stake so an operator reading the log
-        // knows what a persistent failure loses.
-        let cell_list = cells
-            .iter()
-            .map(|c| c.index.to_string())
-            .collect::<Vec<_>>()
-            .join(", ");
-        eprintln!(
-            "warning: writing {} failed ({first}); retrying once (cells [{cell_list}])",
-            path.display()
-        );
-        doc.write_to(&path).map_err(|e| {
-            format!(
-                "cannot write {} (retried once; first error: {first}): {e}",
-                path.display()
-            )
-        })?;
-    }
+    // A transient I/O failure here would throw away a whole shard of
+    // simulated cells, so retry with backoff before giving up — naming
+    // the cells at stake, so an operator reading the log knows what a
+    // persistent failure loses (though with the journal intact, a
+    // `--resume` re-run replays them for free).
+    let cell_list = cells
+        .iter()
+        .map(|c| c.index.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    retry_with_backoff(
+        &format!("writing partial {} (cells [{cell_list}])", path.display()),
+        WRITE_ATTEMPTS,
+        WRITE_BACKOFF_BASE,
+        WRITE_BACKOFF_CAP,
+        || doc.write_to(&path),
+    )?;
     Ok(path)
 }
 
@@ -697,23 +1032,56 @@ pub fn run_shard(plan_path: &Path, parallel: bool, out: Option<&Path>) -> Result
 // merge
 // -------------------------------------------------------------------
 
-/// Validates and merges partial-result files into the final report,
-/// writing `BENCH_<name>.json` and `results/*.csv` under `out_root` —
+/// One loaded merge input: a monolithic partial (`….result.json`) or a
+/// per-shard resume journal (`….cells.jsonl`). Both carry the same
+/// header and decode to the same outcomes, so every validation
+/// downstream of loading is shared — a journal merge is held to the
+/// identical exactly-once coverage bar as a partial merge.
+struct LoadedPartial {
+    header: ShardFile,
+    outcomes: Vec<CellOutcome>,
+}
+
+fn load_partial(path: &Path) -> Result<LoadedPartial, String> {
+    if is_journal_path(path) {
+        let (header, outcomes, _text) = read_journal(path)?;
+        return Ok(LoadedPartial { header, outcomes });
+    }
+    let file = read_shard_file(path, "partial")?;
+    let ctx = file.ctx();
+    let outcomes = file
+        .doc
+        .get("outcomes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: no 'outcomes' array"))?
+        .iter()
+        .map(|j| decode_outcome(&ctx, j, file.scale))
+        .collect::<Result<_, _>>()?;
+    Ok(LoadedPartial {
+        header: file,
+        outcomes,
+    })
+}
+
+/// Validates and merges partial-result files — or `….cells.jsonl`
+/// resume journals, in any mix — into the final report, writing
+/// `BENCH_<name>.json` and `results/*.csv` under `out_root` —
 /// byte-identical to what a direct run of the whole grid writes (under
 /// [`crate::freeze_perf`]; wall-clock fields otherwise differ by
 /// nature). Returns the `BENCH_<name>.json` path.
 pub fn merge(partials: &[PathBuf], out_root: &Path) -> Result<PathBuf, String> {
     if partials.is_empty() {
-        return Err("shard merge needs at least one partial-result file".to_string());
+        return Err("shard merge needs at least one partial-result or journal file".to_string());
     }
-    let files: Vec<ShardFile> = partials
+    let files: Vec<LoadedPartial> = partials
         .iter()
-        .map(|p| read_shard_file(p, "partial"))
+        .map(|p| load_partial(p))
         .collect::<Result<_, _>>()?;
 
-    // Header consistency across partials.
-    let first = &files[0];
+    // Header consistency across inputs.
+    let first = &files[0].header;
     for f in &files[1..] {
+        let f = &f.header;
         for (what, a, b) in [
             ("scenario", first.scenario.as_str(), f.scenario.as_str()),
             ("source", first.source.as_str(), f.source.as_str()),
@@ -750,18 +1118,22 @@ pub fn merge(partials: &[PathBuf], out_root: &Path) -> Result<PathBuf, String> {
         }
     }
 
-    // Every shard present exactly once.
+    // Every shard present exactly once — a partial and a journal for
+    // the same shard are two claims on the same cells, and retried
+    // fleet workers must converge on one journal per shard, so a
+    // double claim refuses to merge rather than picking a winner.
     let mut seen: Vec<Option<&ShardFile>> = vec![None; first.shards];
     for f in &files {
-        if let Some(prev) = seen[f.shard] {
+        let h = &f.header;
+        if let Some(prev) = seen[h.shard] {
             return Err(format!(
                 "{}: shard {} already provided by {}",
-                f.ctx(),
-                f.shard,
+                h.ctx(),
+                h.shard,
                 prev.path.display()
             ));
         }
-        seen[f.shard] = Some(f);
+        seen[h.shard] = Some(h);
     }
     let missing: Vec<String> = seen
         .iter()
@@ -799,30 +1171,24 @@ pub fn merge(partials: &[PathBuf], out_root: &Path) -> Result<PathBuf, String> {
 
     // Heartbeat cross-check: advisory only. A heartbeat reporting fewer
     // completed cells than the plan assigned means the shard run was
-    // interrupted (or the partial is stale); merge still hard-fails
+    // interrupted (or the input is stale); merge still hard-fails
     // below if any cell is actually missing, so this is a warning that
-    // names the likely culprit, not an error.
+    // names the likely culprit — and the exact grid cells it owes.
     for f in &files {
-        let planned = reference
+        let planned: Vec<&CellSpec> = reference
             .iter()
-            .filter(|c| c.index % first.shards == f.shard)
-            .count();
-        warn_on_short_heartbeat(&f.path, f.shard, planned);
+            .filter(|c| c.index % first.shards == f.header.shard)
+            .collect();
+        let have: HashSet<usize> = f.outcomes.iter().map(|o| o.spec.index).collect();
+        warn_on_short_heartbeat(&f.header.path, f.header.shard, &planned, &have);
     }
 
-    // Decode outcomes; every grid cell covered exactly once, and every
-    // cell's identity (seed + parameters) matching this binary's grid.
+    // Every grid cell covered exactly once, each cell's identity
+    // (seed + parameters) matching this binary's grid.
     let mut owner: Vec<Option<&ShardFile>> = vec![None; reference.len()];
-    let mut outcomes: Vec<CellOutcome> = Vec::with_capacity(reference.len());
     for f in &files {
-        let ctx = f.ctx();
-        let list = f
-            .doc
-            .get("outcomes")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| format!("{ctx}: no 'outcomes' array"))?;
-        for j in list {
-            let o = decode_outcome(&ctx, j, f.scale)?;
+        let ctx = f.header.ctx();
+        for o in &f.outcomes {
             let Some(slot) = owner.get_mut(o.spec.index) else {
                 return Err(format!(
                     "{ctx}: cell index {} outside the {}-cell grid",
@@ -837,27 +1203,15 @@ pub fn merge(partials: &[PathBuf], out_root: &Path) -> Result<PathBuf, String> {
                     prev.path.display()
                 ));
             }
-            let expect = &reference[o.spec.index];
-            if expect.seed != o.spec.seed || expect.label() != o.spec.label() {
-                return Err(format!(
-                    "{ctx}: cell {} disagrees with this binary's grid \
-                     (partial: seed {} [{}], binary: seed {} [{}]) — regenerate the plan",
-                    o.spec.index,
-                    o.spec.seed,
-                    o.spec.label(),
-                    expect.seed,
-                    expect.label()
-                ));
-            }
-            *slot = Some(f);
-            outcomes.push(o);
+            check_cell_matches(&ctx, &o.spec, &reference)?;
+            *slot = Some(&f.header);
         }
     }
     let missing: Vec<String> = owner
         .iter()
         .enumerate()
         .filter(|(_, f)| f.is_none())
-        .map(|(i, _)| i.to_string())
+        .map(|(i, _)| format!("{i} [{}]", reference[i].label()))
         .collect();
     if !missing.is_empty() {
         return Err(format!(
@@ -869,22 +1223,35 @@ pub fn merge(partials: &[PathBuf], out_root: &Path) -> Result<PathBuf, String> {
             reference.len()
         ));
     }
+    let scale = first.scale;
+    let outcomes: Vec<CellOutcome> = files.into_iter().flat_map(|f| f.outcomes).collect();
 
     let run = runner::assemble(scenario, outcomes);
     // There is no meaningful whole-batch wall clock for a distributed
     // run; record zero, which is also what a direct run records under
     // freeze-perf.
-    runner::render_into(&run, first.scale, Duration::ZERO, out_root)
+    runner::render_into(&run, scale, Duration::ZERO, out_root)
         .map_err(|e| format!("cannot write merged report: {e}"))
 }
 
-/// Reads the heartbeat sitting next to a partial-result file and warns
-/// (to stderr) if it reports fewer completed cells than the plan
-/// assigned to that shard. Missing or unparseable heartbeats are
-/// silently fine — older runs never wrote one.
-fn warn_on_short_heartbeat(partial: &Path, shard: usize, planned: usize) {
-    let s = partial.to_string_lossy();
-    let Some(stem) = s.strip_suffix(".result.json") else {
+/// Reads the heartbeat sitting next to a merge input (partial or
+/// journal) and warns (to stderr) if it reports fewer completed cells
+/// than the plan assigned to that shard — naming the exact grid cells
+/// the input actually lacks, so an operator sees *which* sweep points
+/// an interrupted shard still owes, not just a count. Missing or
+/// unparseable heartbeats are silently fine — older runs never wrote
+/// one.
+fn warn_on_short_heartbeat(
+    input: &Path,
+    shard: usize,
+    planned: &[&CellSpec],
+    have: &HashSet<usize>,
+) {
+    let s = input.to_string_lossy();
+    let Some(stem) = s
+        .strip_suffix(".result.json")
+        .or_else(|| s.strip_suffix(".cells.jsonl"))
+    else {
         return;
     };
     let hb = PathBuf::from(format!("{stem}.heartbeat.json"));
@@ -895,14 +1262,101 @@ fn warn_on_short_heartbeat(partial: &Path, shard: usize, planned: usize) {
         return;
     };
     let done = doc.get("cells_done").and_then(Json::as_u64).unwrap_or(0) as usize;
-    if done < planned {
+    if done >= planned.len() {
+        return;
+    }
+    let missing: Vec<String> = planned
+        .iter()
+        .filter(|c| !have.contains(&c.index))
+        .map(|c| format!("{} [{}]", c.index, c.label()))
+        .collect();
+    if missing.is_empty() {
         eprintln!(
-            "warning: heartbeat {} reports {done}/{planned} cells done for shard {shard} — \
-             the shard run may have been interrupted or the partial may be stale \
-             (cell-coverage validation below is still authoritative)",
-            hb.display()
+            "warning: heartbeat {} reports {done}/{} cells done for shard {shard}, \
+             but every planned cell is present — stale heartbeat; merge proceeds",
+            hb.display(),
+            planned.len()
+        );
+    } else {
+        eprintln!(
+            "warning: heartbeat {} reports {done}/{} cells done for shard {shard} — \
+             the shard run was interrupted or its input is stale; it lacks cell(s) \
+             {} (cell-coverage validation below is still authoritative)",
+            hb.display(),
+            planned.len(),
+            missing.join(", ")
         );
     }
+}
+
+// -------------------------------------------------------------------
+// Fleet support
+// -------------------------------------------------------------------
+
+/// Summary of one plan file's header, as the fleet coordinator
+/// ([`crate::fleet`]) needs it to validate and supervise a plan set.
+#[derive(Debug)]
+pub struct PlanInfo {
+    /// The plan file.
+    pub path: PathBuf,
+    /// Scenario name.
+    pub scenario: String,
+    /// This shard's id.
+    pub shard: usize,
+    /// Total shards in the plan set.
+    pub shards: usize,
+    /// Scale the plan was generated at.
+    pub scale: Scale,
+    /// Cells assigned to this shard.
+    pub cells: usize,
+}
+
+/// Reads one plan file's header (validating format version and kind).
+pub fn plan_info(path: &Path) -> Result<PlanInfo, String> {
+    let file = read_shard_file(path, "plan")?;
+    let cells = file
+        .doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .map(|a| a.len())
+        .ok_or_else(|| format!("{}: no 'cells' array", file.ctx()))?;
+    Ok(PlanInfo {
+        path: path.to_path_buf(),
+        scenario: file.scenario,
+        shard: file.shard,
+        shards: file.shards,
+        scale: file.scale,
+        cells,
+    })
+}
+
+/// The cells a shard still owes, as `"index [grid label]"` strings:
+/// planned cells not yet present in the shard's journal (all of them
+/// when no journal exists; likewise when the journal is unreadable —
+/// corrupt journals count for nothing). The fleet coordinator reports
+/// these when a shard exhausts its retries, so a degraded run ends
+/// with the exact sweep points still owed rather than a bare count.
+pub fn unfinished_cells(plan_path: &Path) -> Result<Vec<String>, String> {
+    let file = read_shard_file(plan_path, "plan")?;
+    let ctx = file.ctx();
+    let planned: Vec<(usize, String)> = file
+        .doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: no 'cells' array"))?
+        .iter()
+        .map(|c| decode_cell(&ctx, c, file.scale).map(|s| (s.index, s.label())))
+        .collect::<Result<_, _>>()?;
+    let jpath = journal_path(plan_path);
+    let have: HashSet<usize> = match read_journal(&jpath) {
+        Ok((_, outcomes, _)) => outcomes.iter().map(|o| o.spec.index).collect(),
+        Err(_) => HashSet::new(),
+    };
+    Ok(planned
+        .into_iter()
+        .filter(|(i, _)| !have.contains(i))
+        .map(|(i, l)| format!("{i} [{l}]"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -1039,7 +1493,12 @@ mod tests {
         assert_eq!(doc.get("last_cell").and_then(Json::as_u64), Some(4));
         // Short heartbeat (2 of 3) triggers the advisory path without
         // erroring; full-coverage validation stays authoritative.
-        warn_on_short_heartbeat(&dir.join("fig12.shard-1.result.json"), 1, 3);
+        let grid = crate::scenario::Grid::new("fig12", Scale::Smoke)
+            .axis("k", [1u64, 2, 3])
+            .build();
+        let planned: Vec<&CellSpec> = grid.iter().collect();
+        let have: HashSet<usize> = [0].into_iter().collect();
+        warn_on_short_heartbeat(&dir.join("fig12.shard-1.result.json"), 1, &planned, &have);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -18,11 +18,11 @@ use crate::scenario::{
     matrix_table, CellOutcome, CellResult, CellSpec, Grid, Report, Scale, Scenario, Value,
 };
 use crate::scenarios::{bm_kind_by_name, BgPattern};
-use occamy_core::BmKind;
+use occamy_core::{BmKind, BmTuning};
 use occamy_sim::{Drain, FaultSchedule, HostChurn, LinkFlap, Ps, SimConfig, XpSched, MS, US};
 use occamy_spec::{
-    AxisSpec, Background, FaultClause, Num, QuerySize, SpecDoc, SwitchArch, TopologyKind,
-    XpSchedSpec,
+    AxisSpec, Background, FaultClause, Num, QuerySize, SpecDoc, SwitchArch, TableKind,
+    TopologyKind, XpSchedSpec,
 };
 
 /// A registry-compatible scenario compiled from a spec document.
@@ -81,6 +81,10 @@ impl SpecScenario {
                         "oversubscription" | "duration_ms" | "query_fanout" | "bg_flow_kb" => {
                             f >= 1.0
                         }
+                        // Must stay a positive delay after µs → ns.
+                        "bshare_delay_us" => f >= 0.001,
+                        // Permille split must keep both halves non-empty.
+                        "damq_reserve_frac" => (0.001..=0.999).contains(&f),
                         _ => f >= 0.0,
                     };
                 if !ok {
@@ -213,6 +217,7 @@ impl SpecScenario {
             topo,
             bm,
             alpha: self.doc.schemes.alpha_for(scheme),
+            tuning: BmTuning::default(),
             host_rate_bps: gbps(t.host_rate_gbps),
             fabric_rate_bps: gbps(t.fabric_rate_gbps),
             oversubscription: t.oversubscription,
@@ -291,6 +296,10 @@ fn apply_knob(sc: &mut FabricScenario, knob: &str, value: &Value) {
         "oversubscription" => sc.oversubscription = as_f64(value),
         "duration_ms" => sc.duration_ps = as_u64(value) * MS,
         "alpha" => sc.alpha = as_f64(value),
+        "bshare_delay_us" => sc.tuning.bshare_delay_ns = (as_f64(value) * 1000.0).round() as u64,
+        "damq_reserve_frac" => {
+            sc.tuning.damq_reserve_permille = (as_f64(value) * 1000.0).round() as u32
+        }
         other => unreachable!("spec validation admits only known knobs, got '{other}'"),
     }
 }
@@ -370,39 +379,51 @@ impl Scenario for SpecScenario {
                 }
             } else {
                 // Scheme-only grid: one row per scheme, headline columns.
-                let metrics = [
-                    "qct_avg_ms",
-                    "qct_slowdown_avg",
-                    "qct_slowdown_p99",
-                    "bg_slowdown_avg",
-                    "losses",
-                ];
-                let mut cols = vec!["scheme"];
-                cols.extend(metrics);
-                let mut t =
-                    occamy_stats::Table::new(&format!("{}: headline metrics", self.name), &cols);
-                for o in outcomes {
-                    let mut row = vec![o.spec.str("scheme").to_string()];
-                    row.extend(metrics.iter().map(|m| o.result.fmt(m)));
-                    t.row(row);
-                }
+                let t = ranking_table(&format!("{}: headline metrics", self.name), outcomes);
                 report = report.table_csv(t, &format!("{}.csv", self.name));
             }
         } else {
             for ts in &self.doc.emit {
-                report = self.emit_sliced(
-                    report,
-                    outcomes,
-                    &ts.title,
-                    &ts.rows,
-                    &ts.cols,
-                    &ts.metric,
-                    ts.csv.as_deref(),
-                );
+                report = match ts.kind {
+                    TableKind::Ranking => {
+                        self.emit_ranking(report, outcomes, &ts.title, ts.csv.as_deref())
+                    }
+                    TableKind::Matrix => self.emit_sliced(
+                        report,
+                        outcomes,
+                        &ts.title,
+                        &ts.rows,
+                        &ts.cols,
+                        &ts.metric,
+                        ts.csv.as_deref(),
+                    ),
+                };
             }
         }
         report
     }
+}
+
+/// The per-scheme headline table: one row per scheme (in sweep order),
+/// the headline-metric columns — the default report of a grid-less spec
+/// and the body of every `kind = "ranking"` emit table.
+fn ranking_table(title: &str, outcomes: &[CellOutcome]) -> occamy_stats::Table {
+    let metrics = [
+        "qct_avg_ms",
+        "qct_slowdown_avg",
+        "qct_slowdown_p99",
+        "bg_slowdown_avg",
+        "losses",
+    ];
+    let mut cols = vec!["scheme"];
+    cols.extend(metrics);
+    let mut t = occamy_stats::Table::new(title, &cols);
+    for o in outcomes {
+        let mut row = vec![o.spec.str("scheme").to_string()];
+        row.extend(metrics.iter().map(|m| o.result.fmt(m)));
+        t.row(row);
+    }
+    t
 }
 
 impl SpecScenario {
@@ -414,6 +435,67 @@ impl SpecScenario {
     /// residual-axis combination gets its own table, suffixed with the
     /// fixed values (`… [bg_load=0.9]`), and no cell's result is
     /// dropped from the report.
+    /// Emits one ranking table per combination of the grid axes (scheme
+    /// excluded — it's the table's rows). When the grid collapses to a
+    /// single combination (smoke/quick scales typically pin tuning
+    /// knobs to one value), the title and CSV name stay unsuffixed, so
+    /// the headline `results/<name>.csv` a grid-less spec would produce
+    /// survives the addition of tuning axes byte-compatibly.
+    fn emit_ranking(
+        &self,
+        mut report: Report,
+        outcomes: &[CellOutcome],
+        title: &str,
+        csv: Option<&str>,
+    ) -> Report {
+        let residual: Vec<&str> = self.doc.grid.iter().map(|a| a.knob.as_str()).collect();
+        let mut combos: Vec<Vec<(&str, Value)>> = Vec::new();
+        for o in outcomes {
+            let combo: Vec<(&str, Value)> = residual
+                .iter()
+                .map(|k| (*k, o.spec.get(k).expect("axis value present").clone()))
+                .collect();
+            if !combos.contains(&combo) {
+                combos.push(combo);
+            }
+        }
+        let single = combos.len() <= 1;
+        for combo in &combos {
+            let slice: Vec<CellOutcome> = outcomes
+                .iter()
+                .filter(|o| combo.iter().all(|(k, v)| o.spec.get(k) == Some(v)))
+                .cloned()
+                .collect();
+            let suffix = combo
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let full_title = if single || suffix.is_empty() {
+                title.to_string()
+            } else {
+                format!("{title} [{suffix}]")
+            };
+            let table = ranking_table(&full_title, &slice);
+            report = match csv {
+                Some(csv) if single || suffix.is_empty() => report.table_csv(table, csv),
+                Some(csv) => {
+                    let tag: String = suffix
+                        .chars()
+                        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                        .collect();
+                    let csv = match csv.strip_suffix(".csv") {
+                        Some(stem) => format!("{stem}_{tag}.csv"),
+                        None => format!("{csv}_{tag}"),
+                    };
+                    report.table_csv(table, &csv)
+                }
+                None => report.table(table),
+            };
+        }
+        report
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn emit_sliced(
         &self,

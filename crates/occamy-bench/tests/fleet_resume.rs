@@ -1,0 +1,355 @@
+//! The fault-tolerance acceptance bar: **kill → resume → merge must be
+//! byte-identical to an uninterrupted direct run**, journal corruption
+//! must fail naming the shard, and the fleet coordinator must survive a
+//! SIGKILLed worker by re-dispatching it — with the retried attempt
+//! recomputing only the cells the dead one never journaled.
+//!
+//! Everything runs under `OCCAMY_FREEZE_PERF=1` (as the CI
+//! `fleet-resilience` job does), which is what makes `cmp`-level
+//! equality meaningful across kills and machines.
+
+use occamy_bench::runner::{execute, render_into};
+use occamy_bench::scenario::Scale;
+use occamy_bench::shard::{self, ShardSource};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn freeze() {
+    std::env::set_var("OCCAMY_FREEZE_PERF", "1");
+}
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh scratch directory per call (tests run concurrently).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "occamy_fleet_resume_{}_{tag}_{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every file under `root`, keyed by its relative path.
+fn tree(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .to_string();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(root, root, &mut out);
+    out
+}
+
+/// Runs fig12 directly (serial, frozen) and renders into `root`.
+fn direct_fig12(root: &Path) {
+    freeze();
+    let source = ShardSource::from_name("fig12").unwrap();
+    let (runs, stats) = execute(&[source.scenario()], Scale::Smoke, false);
+    render_into(&runs[0], Scale::Smoke, stats.wall, root).unwrap();
+}
+
+/// Asserts the merged output under `merged_root` matches a direct run,
+/// ignoring the `shards/` working directory.
+fn assert_matches_direct(merged_root: &Path, tag: &str) {
+    let a = scratch(&format!("{tag}_direct"));
+    direct_fig12(&a);
+    let direct_files = tree(&a);
+    let mut merged_files = tree(merged_root);
+    merged_files.retain(|k, _| !k.starts_with("shards"));
+    assert_eq!(
+        direct_files.keys().collect::<Vec<_>>(),
+        merged_files.keys().collect::<Vec<_>>(),
+        "{tag}: output file sets differ"
+    );
+    for (path, bytes) in &direct_files {
+        assert_eq!(
+            bytes, &merged_files[path],
+            "{tag}: {path} differs between direct run and kill/resume/merge"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&a);
+}
+
+/// Plans fig12 (smoke: 4 cells) into 2 shards under `root/shards` and
+/// runs both serially, journaling as they go. Returns (plans, partials).
+fn fig12_fleet_artifacts(root: &Path) -> (Vec<PathBuf>, Vec<PathBuf>) {
+    freeze();
+    let source = ShardSource::from_name("fig12").unwrap();
+    let plans = shard::plan(&source, Scale::Smoke, 2, &root.join("shards")).unwrap();
+    let partials = plans
+        .iter()
+        .map(|p| shard::run_shard(p, false, None, false).unwrap())
+        .collect();
+    (plans, partials)
+}
+
+/// Truncates a journal to its header plus the first `keep` outcome
+/// lines (preserving the trailing newline) — exactly what the disk
+/// holds after a worker is SIGKILLed `keep` cells in.
+fn truncate_journal(journal: &Path, keep: usize) -> String {
+    let text = std::fs::read_to_string(journal).unwrap();
+    let kept: Vec<&str> = text.lines().take(1 + keep).collect();
+    let truncated = format!("{}\n", kept.join("\n"));
+    std::fs::write(journal, &truncated).unwrap();
+    truncated
+}
+
+#[test]
+fn kill_and_resume_merges_byte_identical_to_direct_run() {
+    let root = scratch("resume");
+    let (plans, partials) = fig12_fleet_artifacts(&root);
+
+    // Simulate shard 0 dying one cell in: journal loses its second
+    // outcome, the partial and heartbeat were never written.
+    let journal = shard::journal_path(&plans[0]);
+    let full = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(full.lines().count(), 3, "header + 2 journaled cells");
+    let truncated = truncate_journal(&journal, 1);
+    std::fs::remove_file(&partials[0]).unwrap();
+    std::fs::remove_file(shard::heartbeat_path(&plans[0])).unwrap();
+
+    // Resume: the journaled cell is replayed, only the missing one
+    // recomputed, and the journal grows append-only.
+    let resumed_partial = shard::run_shard(&plans[0], false, None, true).unwrap();
+    assert_eq!(resumed_partial, partials[0]);
+    let resumed = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        resumed.starts_with(&truncated),
+        "resume must append to the surviving journal, not rewrite it"
+    );
+    assert_eq!(
+        resumed.lines().count(),
+        3,
+        "resume recomputes exactly the one unjournaled cell"
+    );
+
+    shard::merge(&partials, &root).unwrap();
+    assert_matches_direct(&root, "resume");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn merge_accepts_journals_in_place_of_partials() {
+    let root = scratch("jmerge");
+    let (plans, partials) = fig12_fleet_artifacts(&root);
+    // Shard 0 by journal, shard 1 by partial — any mix merges to the
+    // same bytes.
+    let inputs = vec![shard::journal_path(&plans[0]), partials[1].clone()];
+    shard::merge(&inputs, &root).unwrap();
+    assert_matches_direct(&root, "jmerge");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn journal_and_partial_for_same_shard_do_not_merge() {
+    let root = scratch("dupshard");
+    let (plans, partials) = fig12_fleet_artifacts(&root);
+    let inputs = vec![
+        partials[0].clone(),
+        shard::journal_path(&plans[0]),
+        partials[1].clone(),
+    ];
+    let err = shard::merge(&inputs, &root).unwrap_err();
+    assert!(
+        err.contains("already provided by"),
+        "a shard covered twice must be rejected: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_journal_line_fails_naming_the_shard() {
+    let root = scratch("torn");
+    let (plans, _partials) = fig12_fleet_artifacts(&root);
+    let journal = shard::journal_path(&plans[1]);
+    let text = std::fs::read_to_string(&journal).unwrap();
+
+    // A journal cut mid-line (no trailing newline), as an interrupted
+    // copy leaves it.
+    std::fs::write(&journal, &text[..text.len() - 20]).unwrap();
+    let err = shard::run_shard(&plans[1], false, None, true).unwrap_err();
+    assert!(
+        err.contains("truncated mid-write") && err.contains("shard-1"),
+        "a torn journal must fail naming the shard: {err}"
+    );
+
+    // A half-written last line that does end in a newline: invalid JSON.
+    std::fs::write(&journal, format!("{}\n", &text[..text.len() - 20])).unwrap();
+    let err = shard::run_shard(&plans[1], false, None, true).unwrap_err();
+    assert!(
+        err.contains("not valid JSON") && err.contains("shard 1"),
+        "a half-written line must fail naming the shard: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn duplicated_journal_cell_fails_naming_the_shard() {
+    let root = scratch("dupcell");
+    let (plans, _partials) = fig12_fleet_artifacts(&root);
+    let journal = shard::journal_path(&plans[1]);
+    let mut text = std::fs::read_to_string(&journal).unwrap();
+    let last = text.lines().last().unwrap().to_string();
+    text.push_str(&last);
+    text.push('\n');
+    std::fs::write(&journal, &text).unwrap();
+
+    // Both the resume path and the merge path must refuse it.
+    let err = shard::run_shard(&plans[1], false, None, true).unwrap_err();
+    assert!(
+        err.contains("already journaled") && err.contains("shard 1"),
+        "a duplicated cell must fail the resume: {err}"
+    );
+    let err = shard::merge(std::slice::from_ref(&journal), &root).unwrap_err();
+    assert!(
+        err.contains("already journaled") && err.contains("shard 1"),
+        "a duplicated cell must fail the merge: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn foreign_journal_is_rejected_on_resume() {
+    let root = scratch("foreign");
+    let (plans, partials) = fig12_fleet_artifacts(&root);
+    // Shard 1's journal dropped in place of shard 0's: header mismatch.
+    std::fs::copy(
+        shard::journal_path(&plans[1]),
+        shard::journal_path(&plans[0]),
+    )
+    .unwrap();
+    std::fs::remove_file(&partials[0]).unwrap();
+    let err = shard::run_shard(&plans[0], false, None, true).unwrap_err();
+    assert!(
+        err.contains("belongs to a different plan"),
+        "a foreign journal must not resume: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// -------------------------------------------------------------------
+// Fleet coordinator, end to end against the real binary
+// -------------------------------------------------------------------
+
+fn bench_binary() -> &'static str {
+    env!("CARGO_BIN_EXE_occamy-bench")
+}
+
+/// The tentpole acceptance test: a fleet whose shard-1 worker SIGKILLs
+/// itself one cell in must finish via retry + resume, recompute only
+/// the unjournaled cell, and merge byte-identical to a direct run.
+#[test]
+fn fleet_survives_a_sigkilled_worker_and_merges_byte_identical() {
+    let root = scratch("fleet_kill");
+    freeze();
+    let source = ShardSource::from_name("fig12").unwrap();
+    let plans = shard::plan(&source, Scale::Smoke, 2, &root.join("shards")).unwrap();
+
+    let output = std::process::Command::new(bench_binary())
+        .args(["fleet"])
+        .arg(root.join("shards"))
+        .args(["--serial", "--workers", "2", "--retries", "2", "--out-dir"])
+        .arg(&root)
+        .env("OCCAMY_FREEZE_PERF", "1")
+        .env("OCCAMY_SHARD_KILL_AFTER", "1:1")
+        .env("OCCAMY_FLEET_BACKOFF_MS", "10")
+        .output()
+        .expect("fleet run spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "fleet must recover from the kill\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("shard 1 attempt 1 failed") && stderr.contains("retrying in"),
+        "the killed worker must be observed and retried:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("shard 1 done (attempt 2)"),
+        "the retried attempt must complete:\n{stdout}"
+    );
+
+    // The worker log proves the retry resumed instead of starting over.
+    let log = std::fs::read_to_string(root.join("shards/fig12.shard-1.log")).unwrap();
+    assert!(
+        log.contains("resuming shard 1 of 'fig12': 1 of 2 cells journaled, 1 to run"),
+        "attempt 2 must resume from the journal:\n{log}"
+    );
+    // And the journal holds exactly header + 2 cells — the journaled
+    // cell was not recomputed.
+    let journal = std::fs::read_to_string(shard::journal_path(&plans[1])).unwrap();
+    assert_eq!(journal.lines().count(), 3, "journal:\n{journal}");
+
+    assert_matches_direct(&root, "fleet_kill");
+
+    // The status mirror records the recovery for `occamy-bench watch`.
+    let status = std::fs::read_to_string(root.join("shards/fleet.status.json")).unwrap();
+    assert!(
+        status.contains("\"kind\":\"fleet\"") && status.contains("\"retries\":1"),
+        "{status}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Degraded mode: with retries exhausted the fleet must finish the
+/// healthy shard, name the dead shard's unfinished cells by grid
+/// label, and exit nonzero — no merge, no panic.
+#[test]
+fn fleet_degrades_gracefully_when_retries_are_exhausted() {
+    let root = scratch("fleet_degraded");
+    freeze();
+    let source = ShardSource::from_name("fig12").unwrap();
+    shard::plan(&source, Scale::Smoke, 2, &root.join("shards")).unwrap();
+
+    let output = std::process::Command::new(bench_binary())
+        .args(["fleet"])
+        .arg(root.join("shards"))
+        .args(["--serial", "--workers", "2", "--retries", "0", "--out-dir"])
+        .arg(&root)
+        .env("OCCAMY_FREEZE_PERF", "1")
+        .env("OCCAMY_SHARD_KILL_AFTER", "0:1")
+        .env("OCCAMY_FLEET_BACKOFF_MS", "10")
+        .output()
+        .expect("fleet run spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        !output.status.success(),
+        "a permanently failed shard must fail the fleet\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("FAILED permanently"),
+        "the dead shard must be reported:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("unfinished cells") && stderr.contains("shard 0 (1 attempts): 2 ["),
+        "the cells still owed must be named by index and grid label:\n{stderr}"
+    );
+    // The healthy shard still finished — its partial is on disk for a
+    // later resume.
+    assert!(
+        stdout.contains("shard 1 done"),
+        "other shards must finish despite the failure:\n{stdout}"
+    );
+    assert!(
+        !root.join("BENCH_fig12.json").exists(),
+        "no partial merge in degraded mode"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

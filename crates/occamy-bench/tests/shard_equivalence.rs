@@ -76,7 +76,7 @@ fn sharded(source: &ShardSource, scale: Scale, shards: usize, root: &Path) -> Ve
     let plans = shard::plan(source, scale, shards, &root.join("shards")).unwrap();
     let partials: Vec<PathBuf> = plans
         .iter()
-        .map(|p| shard::run_shard(p, false, None).unwrap())
+        .map(|p| shard::run_shard(p, false, None, false).unwrap())
         .collect();
     shard::merge(&partials, root).unwrap();
     partials
@@ -168,7 +168,7 @@ fn fig12_partials() -> (PathBuf, Vec<PathBuf>) {
     let plans = shard::plan(&source, Scale::Smoke, 2, &root.join("shards")).unwrap();
     let partials = plans
         .iter()
-        .map(|p| shard::run_shard(p, false, None).unwrap())
+        .map(|p| shard::run_shard(p, false, None, false).unwrap())
         .collect();
     (root, partials)
 }
@@ -206,7 +206,7 @@ fn version_mismatch_fails_with_both_versions() {
     let plan = root.join("shards/fig12.shard-0.json");
     let text = std::fs::read_to_string(&plan).unwrap();
     std::fs::write(&plan, text.replace("\"format\":1", "\"format\":2")).unwrap();
-    let err = shard::run_shard(&plan, false, None).unwrap_err();
+    let err = shard::run_shard(&plan, false, None, false).unwrap_err();
     assert!(err.contains("format version 2"), "{err}");
     let _ = std::fs::remove_dir_all(&root);
 }
@@ -280,7 +280,7 @@ fn tampered_seed_is_rejected_before_running() {
         }
     }
     std::fs::write(&plans[0], format!("{}\n", Json::Obj(fields))).unwrap();
-    let err = shard::run_shard(&plans[0], false, None).unwrap_err();
+    let err = shard::run_shard(&plans[0], false, None, false).unwrap_err();
     assert!(
         err.contains("disagrees with this binary's grid"),
         "a tampered seed must not execute: {err}"
@@ -355,7 +355,7 @@ fn partials_from_different_plans_do_not_merge() {
     // A 3-shard replan of the same scenario: shard counts disagree.
     let source = ShardSource::from_name("fig12").unwrap();
     let other_plans = shard::plan(&source, Scale::Smoke, 3, &root.join("shards3")).unwrap();
-    let other = shard::run_shard(&other_plans[1], false, None).unwrap();
+    let other = shard::run_shard(&other_plans[1], false, None, false).unwrap();
     let err = shard::merge(&[partials[0].clone(), other], &root).unwrap_err();
     assert!(
         err.contains("partials of different plans"),

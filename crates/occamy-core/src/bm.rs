@@ -200,12 +200,39 @@ pub enum BmKind {
     Damq,
 }
 
+/// Scheme-specific tuning knobs. The defaults reproduce each scheme's
+/// canonical constants (`BShare::new` / `Damq::new`), so a default
+/// `BmTuning` is byte-identical to not tuning at all; schemes without
+/// knobs ignore it entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BmTuning {
+    /// BShare's delay target `d` in nanoseconds.
+    pub bshare_delay_ns: u64,
+    /// DAMQ's reserved fraction `ρ` in permille.
+    pub damq_reserve_permille: u32,
+}
+
+impl Default for BmTuning {
+    fn default() -> Self {
+        BmTuning {
+            bshare_delay_ns: BShare::DEFAULT_DELAY_TARGET_NS,
+            damq_reserve_permille: Damq::DEFAULT_RESERVE_PERMILLE,
+        }
+    }
+}
+
 impl BmKind {
     /// All schemes compared in the paper's end-to-end evaluation.
     pub const EVALUATED: [BmKind; 4] = [BmKind::Occamy, BmKind::Abm, BmKind::Dt, BmKind::Pushout];
 
     /// Instantiates the scheme with the given queue configuration.
     pub fn build(self, cfg: QueueConfig) -> AnyBm {
+        self.build_tuned(cfg, BmTuning::default())
+    }
+
+    /// Instantiates the scheme with explicit tuning knobs; schemes
+    /// without knobs behave exactly as [`BmKind::build`].
+    pub fn build_tuned(self, cfg: QueueConfig, tuning: BmTuning) -> AnyBm {
         match self {
             BmKind::Dt => AnyBm::Dt(DynamicThreshold::new(cfg)),
             BmKind::Occamy => AnyBm::Occamy(Occamy::new(cfg)),
@@ -214,8 +241,11 @@ impl BmKind {
             BmKind::Pushout => AnyBm::Pushout(Pushout::new(cfg)),
             BmKind::Static => AnyBm::Static(StaticThreshold::fair_share(cfg)),
             BmKind::CompleteSharing => AnyBm::CompleteSharing(CompleteSharing::new(cfg)),
-            BmKind::BShare => AnyBm::BShare(BShare::new(cfg)),
-            BmKind::Damq => AnyBm::Damq(Damq::new(cfg)),
+            BmKind::BShare => AnyBm::BShare(BShare::with_delay_target(cfg, tuning.bshare_delay_ns)),
+            BmKind::Damq => AnyBm::Damq(Damq::with_reserve_permille(
+                cfg,
+                tuning.damq_reserve_permille,
+            )),
         }
     }
 }

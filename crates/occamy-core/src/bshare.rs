@@ -47,6 +47,11 @@ pub struct BShare {
 }
 
 impl BShare {
+    /// The default delay target `d` (100 µs) — exported so callers that
+    /// make `d` tunable (e.g. the `bshare_delay_us` grid knob) can
+    /// reproduce `BShare::new` exactly at the default point.
+    pub const DEFAULT_DELAY_TARGET_NS: u64 = DEFAULT_DELAY_TARGET_NS;
+
     /// Creates a BShare instance with the default 100 µs delay target.
     pub fn new(cfg: QueueConfig) -> Self {
         Self::with_delay_target(cfg, DEFAULT_DELAY_TARGET_NS)

@@ -5,9 +5,11 @@ use crate::{BufferManager, BufferState, DropReason, QueueConfig, QueueId, Verdic
 
 /// DAMQ-style reserved-minimum + shared-pool allocation.
 ///
-/// The buffer is split in two at construction-time ratios: every queue
-/// owns a private reservation `R = B / 2N` it can always fill, and the
-/// remainder `S = B − N·R` is a common pool any queue may claim
+/// The buffer is split in two at a construction-time ratio: a reserved
+/// fraction `ρ` of the buffer (default ½, the classic DAMQ design
+/// point) is divided evenly into private per-queue reservations
+/// `R = ρ·B / N` each queue can always fill, and the remainder
+/// `S = B − N·R` is a common pool any queue may claim
 /// first-come-first-served. A queue's admission threshold is therefore
 ///
 /// ```text
@@ -34,21 +36,44 @@ use crate::{BufferManager, BufferState, DropReason, QueueConfig, QueueId, Verdic
 #[derive(Debug, Clone)]
 pub struct Damq {
     cfg: QueueConfig,
+    /// Reserved fraction of the buffer in permille (`ρ · 1000`).
+    reserve_permille: u32,
     /// Cached `Σᵢ max(len_i − R, 0)` — bytes of shared pool in use.
     excess_sum: u64,
 }
 
 impl Damq {
-    /// Creates a DAMQ manager over the given queue configuration.
+    /// The default reservation split (`ρ = ½`, i.e. 500 ‰) — exported so
+    /// callers that make the split tunable (e.g. the `damq_reserve_frac`
+    /// grid knob) can reproduce `Damq::new` exactly at the default point.
+    pub const DEFAULT_RESERVE_PERMILLE: u32 = 500;
+
+    /// Creates a DAMQ manager with the classic half/half split.
     pub fn new(cfg: QueueConfig) -> Self {
-        cfg.validate();
-        Damq { cfg, excess_sum: 0 }
+        Self::with_reserve_permille(cfg, Self::DEFAULT_RESERVE_PERMILLE)
     }
 
-    /// Per-queue reservation: half the buffer divided evenly, the classic
-    /// DAMQ design point (the other half forms the shared pool).
+    /// Creates a DAMQ manager reserving `reserve_permille / 1000` of the
+    /// buffer (split evenly across queues); the rest is the shared pool.
+    pub fn with_reserve_permille(cfg: QueueConfig, reserve_permille: u32) -> Self {
+        cfg.validate();
+        assert!(
+            (1..=999).contains(&reserve_permille),
+            "DAMQ reserve split must be in (0, 1) exclusive, got {reserve_permille} permille"
+        );
+        Damq {
+            cfg,
+            reserve_permille,
+            excess_sum: 0,
+        }
+    }
+
+    /// Per-queue reservation: the reserved fraction of the buffer divided
+    /// evenly (`ρ = ½` by default; the remainder forms the shared pool).
+    /// Integer permille arithmetic so the default reproduces the classic
+    /// `B / 2N` byte-exactly.
     fn reservation(&self, state: &BufferState) -> u64 {
-        state.capacity() / (2 * self.cfg.num_queues() as u64)
+        (state.capacity() * self.reserve_permille as u64 / 1000) / self.cfg.num_queues() as u64
     }
 
     /// Shared-pool bytes in use by full scan — the reference the
@@ -149,6 +174,22 @@ mod tests {
         state.dequeue(0, 6_000).unwrap();
         bm.on_dequeue(0, 6_000, 0, &state);
         assert_eq!(bm.threshold(1, &state), 30_000);
+    }
+
+    #[test]
+    fn reserve_split_is_tunable_and_default_matches_classic() {
+        // B = 80 000, N = 4. ρ = 0.25 → R = 5 000, S = 60 000.
+        let bm = Damq::with_reserve_permille(QueueConfig::uniform(4, 1_000, 1.0), 250);
+        let state = BufferState::new(80_000, 4);
+        assert_eq!(bm.threshold(0, &state), 65_000);
+        // ρ = 0.75 → R = 15 000, S = 20 000.
+        let bm = Damq::with_reserve_permille(QueueConfig::uniform(4, 1_000, 1.0), 750);
+        assert_eq!(bm.threshold(0, &state), 35_000);
+        // The default permille reproduces the classic B / 2N reservation
+        // byte-exactly, including the floor on an odd capacity.
+        let classic = Damq::new(QueueConfig::uniform(4, 1_000, 1.0));
+        let odd = BufferState::new(80_001, 4);
+        assert_eq!(classic.reservation(&odd), 80_001 / (2 * 4));
     }
 
     #[test]

@@ -65,7 +65,9 @@ mod token_bucket;
 
 pub use abm::Abm;
 pub use bitmap::{QueueBitmap, RoundRobinCursor};
-pub use bm::{AnyBm, BmKind, BufferManager, DropReason, QueueConfig, Verdict, VictimPolicy};
+pub use bm::{
+    AnyBm, BmKind, BmTuning, BufferManager, DropReason, QueueConfig, Verdict, VictimPolicy,
+};
 pub use bshare::BShare;
 pub use damq::Damq;
 pub use dt::DynamicThreshold;

@@ -14,7 +14,7 @@ use crate::switch::{BufferPartition, Link, Switch, SwitchPort};
 use crate::time::Ps;
 use crate::world::World;
 use crate::SimConfig;
-use occamy_core::{BmKind, QueueConfig, RateEstimator, TokenBucket};
+use occamy_core::{BmKind, BmTuning, QueueConfig, RateEstimator, TokenBucket};
 use std::collections::VecDeque;
 
 /// A partition of a fabric's hosts and switches into event domains for
@@ -98,14 +98,23 @@ pub struct BmSpec {
     pub kind: BmKind,
     /// DT/ABM/Occamy `α` per service class.
     pub alpha_per_class: Vec<f64>,
+    /// Scheme-specific tuning (BShare delay target, DAMQ reserve split);
+    /// the default reproduces each scheme's canonical constants.
+    pub tuning: BmTuning,
 }
 
 impl BmSpec {
     /// A single-class specification.
     pub fn uniform(kind: BmKind, alpha: f64) -> Self {
+        Self::per_class(kind, vec![alpha])
+    }
+
+    /// A multi-class specification with default tuning.
+    pub fn per_class(kind: BmKind, alpha_per_class: Vec<f64>) -> Self {
         BmSpec {
             kind,
-            alpha_per_class: vec![alpha],
+            alpha_per_class,
+            tuning: BmTuning::default(),
         }
     }
 }
@@ -969,7 +978,7 @@ fn build_partition(
     let cells_per_sec = agg_rate as f64 / 8.0 / sim.cell_bytes as f64 * sim.expel_rate_factor;
     BufferPartition {
         state: occamy_core::BufferState::new(buffer_bytes, nq),
-        bm: bm.kind.build(qc),
+        bm: bm.kind.build_tuned(qc, bm.tuning),
         tb: TokenBucket::new(cells_per_sec, sim.expel_bucket_cells),
         reactive,
         expel_armed: false,
@@ -992,10 +1001,7 @@ mod tests {
             prop_ps: 1_000,
             buffer_bytes: 400_000,
             classes: 2,
-            bm: BmSpec {
-                kind: BmKind::Dt,
-                alpha_per_class: vec![8.0, 1.0],
-            },
+            bm: BmSpec::per_class(BmKind::Dt, vec![8.0, 1.0]),
             sched: SchedKind::StrictPriority,
             sim: SimConfig::default(),
         });

@@ -26,10 +26,7 @@ fn build(threads: usize, sched: XpSched) -> World {
         link_prop_ps: 1_000_000, // 1 µs
         buffer_per_8ports_bytes: 150_000,
         classes: 2,
-        bm: BmSpec {
-            kind: BmKind::CompleteSharing,
-            alpha_per_class: vec![1.0, 1.0],
-        },
+        bm: BmSpec::per_class(BmKind::CompleteSharing, vec![1.0, 1.0]),
         sched: SchedKind::Fifo,
         sim,
     });

@@ -248,10 +248,7 @@ fn strict_priority_protects_high_class() {
         prop_ps: US,
         buffer_bytes: 400_000,
         classes: 2,
-        bm: BmSpec {
-            kind: BmKind::Dt,
-            alpha_per_class: vec![8.0, 1.0],
-        },
+        bm: BmSpec::per_class(BmKind::Dt, vec![8.0, 1.0]),
         sched: SchedKind::StrictPriority,
         sim: SimConfig {
             min_rto: 5 * MS,

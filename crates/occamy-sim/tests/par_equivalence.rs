@@ -20,10 +20,7 @@ fn build(threads: usize) -> World {
         link_prop_ps: 1_000_000, // 1 µs
         buffer_per_8ports_bytes: 150_000,
         classes: 2,
-        bm: BmSpec {
-            kind: BmKind::Occamy,
-            alpha_per_class: vec![8.0, 8.0],
-        },
+        bm: BmSpec::per_class(BmKind::Occamy, vec![8.0, 8.0]),
         sched: SchedKind::Fifo,
         sim,
     });

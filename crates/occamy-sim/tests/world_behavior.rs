@@ -78,10 +78,7 @@ fn sampler_cadence_and_contents() {
         prop_ps: US,
         buffer_bytes: 500_000,
         classes: 2,
-        bm: BmSpec {
-            kind: BmKind::Dt,
-            alpha_per_class: vec![1.0, 1.0],
-        },
+        bm: BmSpec::per_class(BmKind::Dt, vec![1.0, 1.0]),
         sched: SchedKind::StrictPriority,
         sim: SimConfig::default(),
     });

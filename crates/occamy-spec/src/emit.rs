@@ -2,7 +2,9 @@
 //! round-trips to an identical [`SpecDoc`], which is what the spec
 //! round-trip tests pin down.
 
-use crate::model::{FaultClause, Num, QuerySize, SpecDoc, SwitchArch, TopologyKind, XpSchedSpec};
+use crate::model::{
+    FaultClause, Num, QuerySize, SpecDoc, SwitchArch, TableKind, TopologyKind, XpSchedSpec,
+};
 use std::fmt::Write as _;
 
 fn esc(s: &str) -> String {
@@ -193,10 +195,15 @@ impl SpecDoc {
 
         for t in &self.emit {
             let _ = writeln!(w, "\n[[emit]]");
-            let _ = writeln!(w, "title = {}", esc(&t.title));
-            let _ = writeln!(w, "rows = {}", esc(&t.rows));
-            let _ = writeln!(w, "cols = {}", esc(&t.cols));
-            let _ = writeln!(w, "metric = {}", esc(&t.metric));
+            if t.kind == TableKind::Ranking {
+                let _ = writeln!(w, "kind = \"ranking\"");
+                let _ = writeln!(w, "title = {}", esc(&t.title));
+            } else {
+                let _ = writeln!(w, "title = {}", esc(&t.title));
+                let _ = writeln!(w, "rows = {}", esc(&t.rows));
+                let _ = writeln!(w, "cols = {}", esc(&t.cols));
+                let _ = writeln!(w, "metric = {}", esc(&t.metric));
+            }
             if let Some(csv) = &t.csv {
                 let _ = writeln!(w, "csv = {}", esc(csv));
             }

@@ -35,9 +35,9 @@ mod value;
 pub use error::{Result, SpecError};
 pub use model::{
     default_alpha, AxisSpec, Background, FaultClause, Num, QuerySize, SchemesSpec, SimSpec,
-    SpecDoc, SwitchArch, TableSpec, TelemetrySpec, TopologyKind, TopologySection, TrafficSpec,
-    XpSchedSpec, BACKGROUNDS, FAULT_KINDS, KNOBS, METRICS, SCHEMES, SWITCH_ARCHS, TOPOLOGIES,
-    XP_SCHEDS,
+    SpecDoc, SwitchArch, TableKind, TableSpec, TelemetrySpec, TopologyKind, TopologySection,
+    TrafficSpec, XpSchedSpec, BACKGROUNDS, FAULT_KINDS, KNOBS, METRICS, SCHEMES, SWITCH_ARCHS,
+    TOPOLOGIES, XP_SCHEDS,
 };
 pub use value::Value;
 

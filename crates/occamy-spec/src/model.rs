@@ -134,6 +134,8 @@ pub const KNOBS: &[&str] = &[
     "oversubscription",
     "duration_ms",
     "alpha",
+    "bshare_delay_us",
+    "damq_reserve_frac",
 ];
 
 /// Headline metrics an `[[emit]]` table may select — the scalar names
@@ -451,16 +453,32 @@ pub struct AxisSpec {
     pub smoke: Vec<Num>,
 }
 
-/// One `[[emit]]` table: a rows × cols matrix of one metric.
+/// The shape of an `[[emit]]` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableKind {
+    /// A rows × cols matrix of one metric (the default).
+    #[default]
+    Matrix,
+    /// The scheme-ranking headline table: one row per scheme, the
+    /// headline-metric columns — the same table a grid-less spec emits
+    /// by default, available explicitly so specs that sweep tuning
+    /// knobs keep their ranking table (one per knob combination).
+    Ranking,
+}
+
+/// One `[[emit]]` table: a rows × cols matrix of one metric, or
+/// (`kind = "ranking"`) the per-scheme headline table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableSpec {
+    /// Matrix or ranking.
+    pub kind: TableKind,
     /// Table title.
     pub title: String,
-    /// Row axis (a grid knob or `"scheme"`).
+    /// Row axis (a grid knob or `"scheme"`); empty for ranking tables.
     pub rows: String,
-    /// Column axis (default `"scheme"`).
+    /// Column axis (default `"scheme"`); empty for ranking tables.
     pub cols: String,
-    /// The metric shown (one of [`METRICS`]).
+    /// The metric shown (one of [`METRICS`]); empty for ranking tables.
     pub metric: String,
     /// Optional CSV file name under `results/`.
     pub csv: Option<String>,
@@ -1070,13 +1088,50 @@ fn parse_emit(doc: &Value, grid: &[AxisSpec]) -> Result<Vec<TableSpec>> {
     axes.push("scheme");
     let mut tables = Vec::new();
     for t in arr {
-        check_keys(ctx, t, &["title", "rows", "cols", "metric", "csv"])?;
+        check_keys(ctx, t, &["kind", "title", "rows", "cols", "metric", "csv"])?;
         let title = t
             .get("title")
             .ok_or_else(|| SpecError::new("missing 'title'").in_context(ctx))?
             .as_str()
             .map_err(|e| e.in_context(ctx))?
             .to_string();
+        let kind = match t.get("kind") {
+            None => TableKind::Matrix,
+            Some(v) => match v.as_str().map_err(|e| e.in_context(ctx))? {
+                "matrix" => TableKind::Matrix,
+                "ranking" => TableKind::Ranking,
+                other => {
+                    return Err(
+                        SpecError::unknown("emit kind", other, &["matrix", "ranking"])
+                            .in_context(ctx),
+                    )
+                }
+            },
+        };
+        if kind == TableKind::Ranking {
+            for k in ["rows", "cols", "metric"] {
+                if t.get(k).is_some() {
+                    return Err(SpecError::new(format!(
+                        "ranking tables fix rows = scheme and the headline-metric \
+                         columns; '{k}' is not configurable"
+                    ))
+                    .in_context(ctx));
+                }
+            }
+            let csv = match t.get("csv") {
+                Some(v) => Some(v.as_str().map_err(|e| e.in_context(ctx))?.to_string()),
+                None => None,
+            };
+            tables.push(TableSpec {
+                kind,
+                title,
+                rows: String::new(),
+                cols: String::new(),
+                metric: String::new(),
+                csv,
+            });
+            continue;
+        }
         let rows = match t.get("rows") {
             Some(v) => v.as_str().map_err(|e| e.in_context(ctx))?.to_string(),
             None => axes[0].to_string(),
@@ -1108,6 +1163,7 @@ fn parse_emit(doc: &Value, grid: &[AxisSpec]) -> Result<Vec<TableSpec>> {
             None => None,
         };
         tables.push(TableSpec {
+            kind,
             title,
             rows,
             cols,
@@ -1162,7 +1218,8 @@ impl SpecDoc {
         };
         let grid = parse_grid(doc)?;
         let traffic = parse_traffic(doc)?;
-        check_grid_applies(&grid, &traffic)?;
+        let schemes = parse_schemes(doc)?;
+        check_grid_applies(&grid, &traffic, &schemes)?;
         let topology = parse_topology(doc)?;
         let faults = parse_faults(doc, &topology)?;
         Ok(SpecDoc {
@@ -1171,7 +1228,7 @@ impl SpecDoc {
             seed_key,
             topology,
             traffic,
-            schemes: parse_schemes(doc)?,
+            schemes,
             sim: parse_sim(doc)?,
             telemetry: parse_telemetry(doc)?,
             faults,
@@ -1183,9 +1240,16 @@ impl SpecDoc {
 
 /// A grid axis over a knob the chosen background ignores would sweep
 /// identical cells and mislabel the table — reject it at load time.
-fn check_grid_applies(grid: &[AxisSpec], traffic: &TrafficSpec) -> Result<()> {
+fn check_grid_applies(
+    grid: &[AxisSpec],
+    traffic: &TrafficSpec,
+    schemes: &SchemesSpec,
+) -> Result<()> {
+    let has = |s: &str| schemes.schemes.iter().any(|x| x == s);
     for axis in grid {
         let (ok, needs) = match axis.knob.as_str() {
+            "bshare_delay_us" => (has("BShare"), "scheme BShare in the sweep"),
+            "damq_reserve_frac" => (has("DAMQ"), "scheme DAMQ in the sweep"),
             "bg_load" => (
                 traffic.background != Background::None,
                 "a background pattern",

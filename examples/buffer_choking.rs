@@ -19,13 +19,10 @@ fn qct_ms(kind: BmKind) -> (f64, u64) {
         prop_ps: US,
         buffer_bytes: 410_000,
         classes: 8,
-        bm: BmSpec {
-            kind,
-            // HP gets α = 8, the 7 LP classes α = 1 — the paper's §3.1
-            // setup. Seven congested LP queues under DT each settle at
-            // B/8, so only ~12% of the buffer stays free for the burst.
-            alpha_per_class: vec![8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
-        },
+        // HP gets α = 8, the 7 LP classes α = 1 — the paper's §3.1
+        // setup. Seven congested LP queues under DT each settle at
+        // B/8, so only ~12% of the buffer stays free for the burst.
+        bm: BmSpec::per_class(kind, vec![8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]),
         sched: SchedKind::StrictPriority,
         sim: SimConfig::default(),
     });

@@ -30,10 +30,7 @@ fn run(kind: BmKind, alpha: f64) -> (Summary, Summary, u64) {
         link_prop_ps: 10 * US,
         buffer_per_8ports_bytes: 1_000_000,
         classes: 1,
-        bm: BmSpec {
-            kind,
-            alpha_per_class: vec![alpha],
-        },
+        bm: BmSpec::per_class(kind, vec![alpha]),
         sched: SchedKind::Fifo,
         sim,
     });

@@ -25,10 +25,7 @@ fn scaled_leaf_spine(kind: BmKind, alpha: f64) -> occamy::sim::World {
         link_prop_ps: 10 * US,
         buffer_per_8ports_bytes: 1_000_000,
         classes: 1,
-        bm: BmSpec {
-            kind,
-            alpha_per_class: vec![alpha],
-        },
+        bm: BmSpec::per_class(kind, vec![alpha]),
         sched: SchedKind::Fifo,
         sim: SimConfig {
             ecn_k_bytes: 180_000,
